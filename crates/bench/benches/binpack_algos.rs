@@ -1,0 +1,46 @@
+//! Criterion benches for the packing substrate: throughput of each
+//! algorithm on corpus-shaped inputs, and the derived-probe trick vs a
+//! full re-pack.
+
+use binpack::{derive_merged, subset_sum_first_fit, Algorithm, Item};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn corpus_items(n: usize) -> Vec<Item> {
+    let m = corpus::html_18mil(n as f64 / 18_000_000.0, 77);
+    m.files
+        .iter()
+        .map(|f| Item::new(f.id, f.size))
+        .collect()
+}
+
+fn bench_algorithms(c: &mut Criterion) {
+    let items = corpus_items(10_000);
+    let capacity = 10_000_000;
+    let mut group = c.benchmark_group("pack_10k_files");
+    group.throughput(Throughput::Elements(items.len() as u64));
+    for alg in Algorithm::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{alg:?}")),
+            &items,
+            |b, items| b.iter(|| black_box(alg.pack(black_box(items), capacity))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_derive_vs_repack(c: &mut Criterion) {
+    let items = corpus_items(10_000);
+    let base = subset_sum_first_fit(&items, 1_000_000);
+    let mut group = c.benchmark_group("probe_at_100MB_unit");
+    group.bench_function("derive_merged_x100", |b| {
+        b.iter(|| black_box(derive_merged(black_box(&base), 100)))
+    });
+    group.bench_function("full_repack", |b| {
+        b.iter(|| black_box(subset_sum_first_fit(black_box(&items), 100_000_000)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithms, bench_derive_vs_repack);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Criterion benches for the modelling layer: regression across the five
+//! families, predictor inversion, and the adjusted-deadline math.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use perfmodel::{
+    adjusted_deadline, adjustment_factor, fit, fit_all, inverse_normal_cdf, ModelKind,
+    ResidualStats,
+};
+use std::hint::black_box;
+
+fn observations(n: usize) -> (Vec<f64>, Vec<f64>) {
+    let xs: Vec<f64> = (1..=n).map(|i| i as f64 * 1.0e7).collect();
+    let ys: Vec<f64> = xs
+        .iter()
+        .enumerate()
+        .map(|(k, &x)| 1.3e-8 * x + 0.5 + 0.01 * ((k * 37 % 11) as f64))
+        .collect();
+    (xs, ys)
+}
+
+fn bench_fits(c: &mut Criterion) {
+    let (xs, ys) = observations(1_000);
+    let mut group = c.benchmark_group("fit_1k_points");
+    for kind in ModelKind::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{kind:?}")),
+            &(&xs, &ys),
+            |b, (xs, ys)| b.iter(|| black_box(fit(kind, xs, ys))),
+        );
+    }
+    group.bench_function("all_families_plus_select", |b| {
+        b.iter(|| black_box(fit_all(&xs, &ys)))
+    });
+    group.finish();
+}
+
+fn bench_deadline_math(c: &mut Criterion) {
+    let (xs, ys) = observations(100);
+    let f = fit(ModelKind::Affine, &xs, &ys);
+    c.bench_function("invert_affine", |b| {
+        b.iter(|| black_box(f.invert(black_box(3600.0))))
+    });
+    let logquad = fit(ModelKind::LogQuad, &xs, &ys);
+    c.bench_function("invert_logquad_bisection", |b| {
+        b.iter(|| black_box(logquad.invert(black_box(3600.0))))
+    });
+    let res = ResidualStats::from_relative_residuals(&f.relative_residuals);
+    c.bench_function("adjusted_deadline", |b| {
+        b.iter(|| {
+            let a = adjustment_factor(black_box(&res), 0.1);
+            black_box(adjusted_deadline(3600.0, a))
+        })
+    });
+    c.bench_function("inverse_normal_cdf", |b| {
+        b.iter(|| black_box(inverse_normal_cdf(black_box(0.9))))
+    });
+}
+
+criterion_group!(benches, bench_fits, bench_deadline_math);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! Criterion benches for the cloud simulator: instance lifecycle, probe
+//! runs, EBS placement arithmetic, and a full 27-instance fleet execution
+//! (the paper's Fig 8 scale).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ec2sim::{Cloud, CloudConfig, DataLocation, InstanceType};
+use provision::{execute_plan, make_plan, ExecutionConfig, StagingTier, Strategy};
+use std::hint::black_box;
+use textapps::{GrepCostModel, PosCostModel};
+
+fn bench_lifecycle(c: &mut Criterion) {
+    c.bench_function("launch_wait_terminate", |b| {
+        b.iter(|| {
+            let mut cloud = Cloud::new(CloudConfig::default());
+            let id = cloud
+                .launch(InstanceType::Small, ec2sim::AvailabilityZone::us_east_1a())
+                .unwrap();
+            cloud.wait_until_running(id).unwrap();
+            cloud.terminate(id).unwrap();
+            black_box(cloud.ledger().total_cost())
+        })
+    });
+}
+
+fn bench_probe_run(c: &mut Criterion) {
+    let mut cloud = Cloud::new(CloudConfig::default());
+    let zone = ec2sim::AvailabilityZone::us_east_1a();
+    let inst = cloud.launch(InstanceType::Small, zone).unwrap();
+    cloud.wait_until_running(inst).unwrap();
+    let vol = cloud.create_volume(zone, 10_000_000_000);
+    cloud.attach_volume(vol, inst).unwrap();
+    let files: Vec<corpus::FileSpec> = (0..1_000)
+        .map(|i| corpus::FileSpec::new(i, 1_000_000))
+        .collect();
+    let model = GrepCostModel::default();
+    c.bench_function("run_app_1k_files_ebs", |b| {
+        b.iter(|| {
+            black_box(
+                cloud
+                    .run_app(
+                        inst,
+                        &model,
+                        black_box(&files),
+                        DataLocation::Ebs {
+                            volume: vol,
+                            offset: 0,
+                        },
+                    )
+                    .unwrap(),
+            )
+        })
+    });
+}
+
+fn bench_fleet(c: &mut Criterion) {
+    // Fig 8-scale: full Text_400K, 20+ instances.
+    let manifest = corpus::text_400k(1.0, 2008);
+    let xs: Vec<f64> = (1..=10).map(|i| i as f64 * 5.0e6).collect();
+    let ys: Vec<f64> = xs.iter().map(|&x| 0.5 + 8.65e-5 * x).collect();
+    let fit = perfmodel::fit(perfmodel::ModelKind::Affine, &xs, &ys);
+    let plan = make_plan(Strategy::UniformBins, &manifest.files, &fit, 3600.0);
+    let model = PosCostModel::default();
+    let mut group = c.benchmark_group("fleet");
+    group.sample_size(10);
+    group.bench_function(
+        format!("execute_{}_instances_400k_files", plan.instance_count()),
+        |b| {
+            b.iter(|| {
+                let mut cloud = Cloud::new(CloudConfig {
+                    seed: 1,
+                    homogeneous: true,
+                    ..CloudConfig::default()
+                });
+                black_box(
+                    execute_plan(
+                        &mut cloud,
+                        &plan,
+                        &model,
+                        &ExecutionConfig {
+                            staging: StagingTier::Local,
+                            ..ExecutionConfig::default()
+                        },
+                    )
+                    .unwrap(),
+                )
+            })
+        },
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_lifecycle, bench_probe_run, bench_fleet);
+criterion_main!(benches);

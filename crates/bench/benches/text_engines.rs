@@ -1,0 +1,40 @@
+//! Criterion benches for the real text engines: grep scan throughput
+//! (MB/s) and POS tagging rate (bytes/s), on materialized corpus bytes.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use textapps::{Grep, PosTagger};
+
+fn materialize(bytes: usize, seed: u64) -> Vec<u8> {
+    corpus::text_bytes(seed, &corpus::FileSpec::new(1, bytes as u64))
+}
+
+fn bench_grep(c: &mut Criterion) {
+    let hay = materialize(4_000_000, 88);
+    let mut group = c.benchmark_group("grep");
+    group.throughput(Throughput::Bytes(hay.len() as u64));
+    group.bench_function("worst_case_no_match_4MB", |b| {
+        let g = Grep::new("zxqvnonsense");
+        b.iter(|| black_box(g.run(black_box(&hay))))
+    });
+    group.bench_function("frequent_match_4MB", |b| {
+        let g = Grep::new("ka");
+        b.iter(|| black_box(g.count(black_box(&hay))))
+    });
+    group.finish();
+}
+
+fn bench_tagger(c: &mut Criterion) {
+    let text = String::from_utf8(materialize(200_000, 89)).unwrap();
+    let mut group = c.benchmark_group("pos_tagger");
+    group.throughput(Throughput::Bytes(text.len() as u64));
+    group.sample_size(20);
+    group.bench_function("tag_200kB_document", |b| {
+        let tagger = PosTagger::new();
+        b.iter(|| black_box(tagger.tag_text(black_box(&text))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_grep, bench_tagger);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! Ablation A4 — weighted curve fitting (§7 future work): "demanding
+//! closer fits in the large data volume range and allowing for looser fits
+//! in the small data volume range". Fit the grep model from the same probe
+//! measurements three ways — plain OLS, volume-weighted, inverse-variance
+//! weighted — and compare their predictions of a large held-out run.
+
+use bench::{fmt_secs, measure, screened_cloud, smoke, Table};
+use corpus::html_18mil;
+use ec2sim::{CloudConfig, DataLocation};
+use perfmodel::{
+    fit, fit_weighted, inverse_variance_weights, volume_weights, ModelKind, UnitSize,
+};
+use reshape::reshape_manifest;
+use textapps::GrepCostModel;
+
+fn main() {
+    let (target_gb, scale) = if smoke() { (4u64, 0.008) } else { (20u64, 0.035) };
+    let gb = 1_000_000_000u64;
+    let (mut cloud, inst) = screened_cloud(CloudConfig {
+        seed: 131,
+        ..CloudConfig::default()
+    });
+    let zone = ec2sim::AvailabilityZone::us_east_1a();
+    let manifest = html_18mil(scale, 2008);
+    let reshaped = reshape_manifest(&manifest, UnitSize::Bytes(100_000_000));
+    let model = GrepCostModel::default();
+
+    // Probes on a production-like volume (with placement segments): the
+    // small probes are the noisy ones.
+    let vol = cloud.create_volume(zone, (target_gb + 2) * gb);
+    cloud.attach_volume(vol, inst).unwrap();
+    let data = DataLocation::Ebs { volume: vol, offset: 0 };
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for frac in [0.002, 0.005, 0.01, 0.05, 0.1, 0.3, 0.6] {
+        let bytes = ((target_gb * gb) as f64 * frac) as u64;
+        let files = take_volume(&reshaped.files, bytes);
+        let m = measure(&mut cloud, inst, &model, &files, data, 5);
+        for &run in &m.runs {
+            xs.push(m.volume as f64);
+            ys.push(run);
+        }
+    }
+
+    // Held-out truth: the full target volume, averaged over 5 runs.
+    let full = take_volume(&reshaped.files, target_gb * gb);
+    let truth = measure(&mut cloud, inst, &model, &full, data, 5).mean();
+
+    let plain = fit(ModelKind::Affine, &xs, &ys);
+    let volw = fit_weighted(ModelKind::Affine, &xs, &ys, &volume_weights(&xs));
+    let noise = cloud.config().noise;
+    let ivw = fit_weighted(
+        ModelKind::Affine,
+        &xs,
+        &ys,
+        &inverse_variance_weights(&ys, noise.base_rel, noise.short_rel),
+    );
+
+    let mut t = Table::new(
+        &format!("A4 — weighted fitting, predicting a {target_gb} GB run (truth {truth:.1}s)"),
+        &["fit", "slope(e-8)", "intercept", "prediction(s)", "abs err %"],
+    );
+    for (name, f) in [("plain OLS", &plain), ("volume-weighted", &volw), ("inverse-variance", &ivw)]
+    {
+        let pred = f.predict((target_gb * gb) as f64);
+        t.row(vec![
+            name.to_string(),
+            format!("{:.4}", f.a * 1e8),
+            format!("{:.3}", f.b),
+            fmt_secs(pred),
+            format!("{:.2}", 100.0 * (pred - truth).abs() / truth),
+        ]);
+    }
+    t.emit("ablate_weighted");
+    println!(
+        "expectation (§7): weighting toward large volumes should not predict worse than plain\n\
+         OLS at scale, and typically predicts better when small probes are noisy."
+    );
+    cloud.terminate(inst).unwrap();
+}
+
+fn take_volume(files: &[corpus::FileSpec], volume: u64) -> Vec<corpus::FileSpec> {
+    let mut acc = 0u64;
+    let mut out = Vec::new();
+    for &f in files {
+        if acc >= volume {
+            break;
+        }
+        acc += f.size;
+        out.push(f);
+    }
+    out
+}

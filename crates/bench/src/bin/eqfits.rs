@@ -1,0 +1,45 @@
+//! Eqs (3) and (4) — the POS-tagging performance models.
+//!
+//! Eq (3) is fitted from corpus-prefix probes at the original
+//! segmentation: `f(x) = 0.327 + 0.865×10⁻⁴·x` in the paper. Eq (4) is
+//! refit from 3 random 5 MB samples: `f(x) = 3.086 + 0.725×10⁻⁴·x` — a
+//! *lower* slope, because random samples see the corpus-mean language
+//! complexity while the prefix sits above it.
+
+use bench::{pos_calibration, screened_cloud, smoke, Table};
+use ec2sim::CloudConfig;
+
+fn main() {
+    let scale = if smoke() { 0.1 } else { 1.0 };
+    let (mut cloud, inst) = screened_cloud(CloudConfig {
+        seed: 83,
+        ..CloudConfig::default()
+    });
+    let manifest = corpus::text_400k(scale, 2008);
+    let (eq3, eq4) = pos_calibration(&mut cloud, inst, &manifest);
+
+    let mut t = Table::new(
+        "Eqs (3)/(4) — POS model fits (seconds vs bytes)",
+        &["model", "intercept", "slope(e-4 s/B)", "R^2", "paper"],
+    );
+    t.row(vec![
+        "Eq(3) prefix probes".into(),
+        format!("{:.3}", eq3.b),
+        format!("{:.3}", eq3.a * 1e4),
+        format!("{:.4}", eq3.r2),
+        "0.327 + 0.865e-4x".into(),
+    ]);
+    t.row(vec![
+        "Eq(4) random samples".into(),
+        format!("{:.3}", eq4.b),
+        format!("{:.3}", eq4.a * 1e4),
+        format!("{:.4}", eq4.r2),
+        "3.086 + 0.725e-4x".into(),
+    ]);
+    t.emit("eqfits_pos");
+    println!(
+        "slope drop from prefix to random sampling: {:.1}% (paper: 16.2%)",
+        100.0 * (1.0 - eq4.a / eq3.a)
+    );
+    cloud.terminate(inst).unwrap();
+}

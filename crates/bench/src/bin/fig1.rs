@@ -1,0 +1,80 @@
+//! Figure 1 — frequency distributions of the two data sets.
+//!
+//! (a) HTML_18mil with 10 kB bins up to 300 kB; (b) Text_400K with 1 kB
+//! bins up to 160 kB. The paper's published facts (majority sizes, tails,
+//! maxima) are printed alongside the histograms.
+
+use bench::{fmt_bytes, smoke, Table};
+use corpus::{histogram, html_18mil, text_400k, KB};
+
+fn main() {
+    let scale = if smoke() { 0.001 } else { 0.01 };
+    let seed = 2008; // the Newslab collection year
+
+    // (a) HTML_18mil, 10 kB bins up to 300 kB (as plotted in the paper).
+    let html = html_18mil(scale, seed);
+    let mut t = Table::new(
+        &format!(
+            "Fig 1(a) HTML_18mil (scale {scale}: {} files, {})",
+            html.len(),
+            fmt_bytes(html.total_volume())
+        ),
+        &["bin", "files", "share%"],
+    );
+    let bins = histogram(&html, 10 * KB, 300 * KB, true);
+    for b in &bins {
+        let label = if b.hi == u64::MAX {
+            format!(">{}", fmt_bytes(b.lo))
+        } else {
+            format!("{}-{}", fmt_bytes(b.lo), fmt_bytes(b.hi))
+        };
+        t.row(vec![
+            label,
+            b.count.to_string(),
+            format!("{:.2}", 100.0 * b.count as f64 / html.len() as f64),
+        ]);
+    }
+    t.emit("fig1a_html_18mil");
+    println!(
+        "facts: majority <50kB: {:.1}% | max file {} (paper: 43MB) | long tail",
+        100.0 * html.fraction_below(50 * KB),
+        fmt_bytes(html.max_file_size()),
+    );
+
+    // (b) Text_400K, 1 kB bins up to 160 kB.
+    let text = text_400k((scale * 10.0).min(1.0), seed);
+    let mut t = Table::new(
+        &format!(
+            "Fig 1(b) Text_400K (scale {}: {} files, {})",
+            (scale * 10.0).min(1.0),
+            text.len(),
+            fmt_bytes(text.total_volume())
+        ),
+        &["bin", "files", "share%"],
+    );
+    // Print 1 kB bins up to 20 kB then coarser to keep the table readable;
+    // the CSV holds the full 160 kB range.
+    let bins = histogram(&text, KB, 160 * KB, true);
+    for (i, b) in bins.iter().enumerate() {
+        if i >= 20 && b.hi != u64::MAX && b.count < text.len() as u64 / 1000 {
+            continue;
+        }
+        let label = if b.hi == u64::MAX {
+            format!(">{}", fmt_bytes(b.lo))
+        } else {
+            format!("{}-{}", fmt_bytes(b.lo), fmt_bytes(b.hi))
+        };
+        t.row(vec![
+            label,
+            b.count.to_string(),
+            format!("{:.2}", 100.0 * b.count as f64 / text.len() as f64),
+        ]);
+    }
+    t.emit("fig1b_text_400k");
+    println!(
+        "facts: <1kB: {:.1}% (paper: >40%) | <5kB: {:.1}% (majority) | max {} (paper: 705kB)",
+        100.0 * text.fraction_below(KB),
+        100.0 * text.fraction_below(5 * KB),
+        fmt_bytes(text.max_file_size()),
+    );
+}

@@ -1,0 +1,72 @@
+//! Figure 2 — shapes of the fitted power-law predictors and what they
+//! imply for provisioning (§5).
+//!
+//! For `f(x) = a·xᵇ`:
+//! * `b > 1` (convex): an hour at small volume processes more data than an
+//!   hour at large volume → prefer starting **new instances**;
+//! * `b < 1` (concave): later hours process more data → prefer **packing
+//!   up to ⌈D⌉ hours** into each instance.
+//!
+//! The decision rule compares the volume processed in the first hour from
+//! a cold start against the volume processed between hours ⌈D⌉−1 and D on
+//! a loaded instance.
+
+use bench::Table;
+use perfmodel::{fit, ModelKind};
+
+/// Volume processed between times `t0` and `t1` under y = a·x^b
+/// (inverting: x(t) = (t/a)^(1/b)).
+fn volume_between(a: f64, b: f64, t0: f64, t1: f64) -> f64 {
+    let x = |t: f64| (t / a).powf(1.0 / b);
+    x(t1) - x(t0)
+}
+
+fn main() {
+    // Two synthetic applications, fitted from planted curves exactly as a
+    // user would (the figure in the paper is schematic; we regenerate the
+    // curves from fitted models to exercise the code path).
+    let xs: Vec<f64> = (1..=40).map(|i| i as f64 * 0.25e9).collect();
+    let convex: Vec<f64> = xs.iter().map(|&x| 2.0e-13 * x.powf(1.35)).collect();
+    let concave: Vec<f64> = xs.iter().map(|&x| 6.0e-5 * x.powf(0.75)).collect();
+    let fit_convex = fit(ModelKind::PowerLaw, &xs, &convex);
+    let fit_concave = fit(ModelKind::PowerLaw, &xs, &concave);
+
+    let mut t = Table::new(
+        "Fig 2 — fitted curves f(x) = a*x^b (seconds vs bytes)",
+        &["x (GB)", "f(x) b>1 (s)", "f(x) b<1 (s)"],
+    );
+    for i in (1..=40).step_by(4) {
+        let x = i as f64 * 0.25e9;
+        t.row(vec![
+            format!("{:.2}", x / 1e9),
+            format!("{:.1}", fit_convex.predict(x)),
+            format!("{:.1}", fit_concave.predict(x)),
+        ]);
+    }
+    t.emit("fig2_curves");
+
+    let mut t = Table::new(
+        "Fig 2 — provisioning implication (volume/hour, GB)",
+        &["model", "b", "1st hour (cold)", "hour D-1..D (D=4h)", "decision"],
+    );
+    for (name, f) in [("convex", &fit_convex), ("concave", &fit_concave)] {
+        let first = volume_between(f.a, f.b, 1e-9, 3600.0);
+        let last = volume_between(f.a, f.b, 3.0 * 3600.0, 4.0 * 3600.0);
+        let decision = if first > last {
+            "start new instances"
+        } else {
+            "pack hours into fewer instances"
+        };
+        t.row(vec![
+            name.to_string(),
+            format!("{:.3}", f.b),
+            format!("{:.2}", first / 1e9),
+            format!("{:.2}", last / 1e9),
+            decision.to_string(),
+        ]);
+    }
+    t.emit("fig2_decision");
+    println!(
+        "paper: b>1 -> always better to start a new instance; b<1 -> pack by ceil(D). Both reproduced."
+    );
+}

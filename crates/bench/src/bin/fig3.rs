@@ -1,0 +1,57 @@
+//! Figure 3 — grep on a 1 MB probe: the measurements are too unstable to
+//! use (large coefficient of variation on 5 repeats), so the paper
+//! discards them and grows the probe volume. We reproduce the instability.
+
+use bench::{fmt_secs, measure, screened_cloud, unit_label, Table};
+use corpus::html_18mil;
+use ec2sim::{CloudConfig, DataLocation};
+use perfmodel::build_probe_chain;
+use textapps::GrepCostModel;
+
+fn main() {
+    let (mut cloud, inst) = screened_cloud(CloudConfig {
+        seed: 31,
+        ..CloudConfig::default()
+    });
+    let manifest = html_18mil(0.0005, 2008);
+    let subset = manifest.prefix_by_volume(1_000_000);
+    // Unit sizes 10 kB up to the whole 1 MB volume.
+    let chain = build_probe_chain(&subset, 10_000, &[5, 10, 50, 100]);
+
+    let volume = cloud.create_volume_custom(
+        ec2sim::AvailabilityZone::us_east_1a(),
+        10_000_000_000,
+        0.0, // the probe directory is well placed
+    );
+    cloud.attach_volume(volume, inst).unwrap();
+    let data = DataLocation::Ebs { volume, offset: 0 };
+    let model = GrepCostModel::default();
+
+    let mut t = Table::new(
+        &format!(
+            "Fig 3 — grep execution times, {}B probe (5 runs each)",
+            subset.total_volume()
+        ),
+        &["unit", "files", "mean(s)", "sd(s)", "cv", "verdict"],
+    );
+    let mut any_unstable = false;
+    for p in &chain {
+        let m = measure(&mut cloud, inst, &model, &p.files, data, 5);
+        let unstable = !m.is_stable(0.10);
+        any_unstable |= unstable;
+        t.row(vec![
+            unit_label(p.unit),
+            p.files.len().to_string(),
+            fmt_secs(m.mean()),
+            fmt_secs(m.stddev()),
+            format!("{:.3}", m.cv()),
+            if unstable { "DISCARD (unstable)" } else { "ok" }.to_string(),
+        ]);
+    }
+    t.emit("fig3_grep_1mb");
+    println!(
+        "paper: values very small, sd large -> discarded as too unstable. reproduced: {}",
+        if any_unstable { "yes" } else { "no (increase noise)" }
+    );
+    cloud.terminate(inst).unwrap();
+}

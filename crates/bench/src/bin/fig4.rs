@@ -1,0 +1,78 @@
+//! Figure 4 — grep on a 5 GB probe across unit file sizes: execution time
+//! drops steeply as tiny files merge into larger units and reaches a
+//! plateau from about 10 MB up to 2 GB.
+
+use bench::{fmt_secs, measure, screened_cloud, smoke, unit_label, Table};
+use corpus::html_18mil;
+use ec2sim::{CloudConfig, DataLocation};
+use perfmodel::{build_probe_chain, UnitSize};
+use textapps::GrepCostModel;
+
+fn main() {
+    let (volume_bytes, scale) = if smoke() {
+        (500_000_000u64, 0.001)
+    } else {
+        (5_000_000_000u64, 0.01)
+    };
+    let (mut cloud, inst) = screened_cloud(CloudConfig {
+        seed: 41,
+        ..CloudConfig::default()
+    });
+    let manifest = html_18mil(scale, 2008);
+    let subset = manifest.prefix_by_volume(volume_bytes);
+    // 1 MB base unit; derive 10 MB, 100 MB, 500 MB, 1 GB, 2 GB.
+    let chain = build_probe_chain(&subset, 1_000_000, &[10, 100, 500, 1000, 2000]);
+
+    let vol = cloud.create_volume_custom(
+        ec2sim::AvailabilityZone::us_east_1a(),
+        volume_bytes * 2,
+        0.0,
+    );
+    cloud.attach_volume(vol, inst).unwrap();
+    let data = DataLocation::Ebs {
+        volume: vol,
+        offset: 0,
+    };
+    let model = GrepCostModel::default();
+
+    let mut t = Table::new(
+        &format!(
+            "Fig 4 — grep execution times on a {} probe (5 runs each)",
+            bench::fmt_bytes(subset.total_volume())
+        ),
+        &["unit", "files", "mean(s)", "sd(s)"],
+    );
+    let mut means = Vec::new();
+    for p in &chain {
+        let m = measure(&mut cloud, inst, &model, &p.files, data, 5);
+        means.push((p.unit, m.mean()));
+        t.row(vec![
+            unit_label(p.unit),
+            p.files.len().to_string(),
+            fmt_secs(m.mean()),
+            fmt_secs(m.stddev()),
+        ]);
+    }
+    t.emit("fig4_grep_5gb");
+
+    // Plateau check: everything at/above 10 MB units within 10 % of best.
+    let best = means
+        .iter()
+        .map(|&(_, m)| m)
+        .fold(f64::INFINITY, f64::min);
+    let plateau = means
+        .iter()
+        .filter(|(u, _)| matches!(u, UnitSize::Bytes(b) if *b >= 10_000_000))
+        .all(|&(_, m)| m <= best * 1.10);
+    let orig = means
+        .iter()
+        .find(|(u, _)| *u == UnitSize::Original)
+        .map(|&(_, m)| m)
+        .unwrap();
+    println!(
+        "plateau from 10MB: {} | original vs best: {:.1}x slower (paper: steep drop then plateau up to 2GB)",
+        if plateau { "yes" } else { "no" },
+        orig / best
+    );
+    cloud.terminate(inst).unwrap();
+}

@@ -1,0 +1,63 @@
+//! Figure 7 — POS tagging on a 1000 kB probe across unit file sizes: the
+//! original segmentation fares best; merging into larger unit files only
+//! hurts, because the application is memory-bound.
+
+use bench::{fmt_secs, measure, screened_cloud, unit_label, Table};
+use corpus::text_400k;
+use ec2sim::{CloudConfig, DataLocation};
+use perfmodel::{build_probe_chain, UnitSize};
+use textapps::PosCostModel;
+
+fn main() {
+    let (mut cloud, inst) = screened_cloud(CloudConfig {
+        seed: 71,
+        ..CloudConfig::default()
+    });
+    let manifest = text_400k(0.05, 2008);
+    let subset = manifest.prefix_by_volume(1_000_000);
+    // 1 kB base unit (over 40 % of files are below 1 kB), derived up to
+    // the whole volume.
+    let chain = build_probe_chain(&subset, 1_000, &[2, 5, 10, 100, 1000]);
+    let model = PosCostModel::default();
+
+    let mut t = Table::new(
+        &format!(
+            "Fig 7 — POS tagging on a {}B probe ({} original files)",
+            subset.total_volume(),
+            subset.len()
+        ),
+        &["unit", "files", "mean(s)", "sd(s)"],
+    );
+    let mut results = Vec::new();
+    for p in &chain {
+        let m = measure(&mut cloud, inst, &model, &p.files, DataLocation::Local, 5);
+        results.push((p.unit, m.mean()));
+        t.row(vec![
+            unit_label(p.unit),
+            p.files.len().to_string(),
+            fmt_secs(m.mean()),
+            fmt_secs(m.stddev()),
+        ]);
+    }
+    t.emit("fig7_pos_1000kb");
+
+    let orig = results
+        .iter()
+        .find(|(u, _)| *u == UnitSize::Original)
+        .map(|&(_, m)| m)
+        .unwrap();
+    let best_merged = results
+        .iter()
+        .filter(|(u, _)| *u != UnitSize::Original)
+        .map(|&(_, m)| m)
+        .fold(f64::INFINITY, f64::min);
+    let worst = results.iter().map(|&(_, m)| m).fold(0.0f64, f64::max);
+    println!(
+        "original {} vs best merged {} vs worst {} -> original fares best: {} (paper: yes; no benefit from larger files)",
+        fmt_secs(orig),
+        fmt_secs(best_merged),
+        fmt_secs(worst),
+        orig <= best_merged * 1.02
+    );
+    cloud.terminate(inst).unwrap();
+}

@@ -1,0 +1,77 @@
+//! Figure 8 — POS-tagging schedules for a 1-hour deadline on the full
+//! Text_400K corpus:
+//!
+//! * (a) capacity-driven in-order first fit under model (3) — the paper's
+//!   27 instances; early bins carry the corpus's more complex prefix and
+//!   sit closest to (or past) the deadline;
+//! * (b) the same fleet with uniform bins — meets the deadline;
+//! * (c) uniform bins under the random-sample refit model (4) — fewer
+//!   instances (the paper's 22), but the thinner margin produces misses;
+//! * (d) scheduling against the adjusted deadline D₁ = D/(1+a) ≈ 3124 s —
+//!   fewer misses than (c) at a higher instance-hour bill.
+
+use bench::{emit_pos_panel, pos_calibration, screened_cloud, smoke, Table};
+use ec2sim::CloudConfig;
+use provision::{make_plan, Strategy};
+
+fn main() {
+    let scale = if smoke() { 0.1 } else { 1.0 };
+    let deadline = 3600.0;
+    let (mut cloud, inst) = screened_cloud(CloudConfig {
+        seed: 81,
+        ..CloudConfig::default()
+    });
+    let manifest = corpus::text_400k(scale, 2008);
+    let (eq3, eq4) = pos_calibration(&mut cloud, inst, &manifest);
+    cloud.terminate(inst).unwrap();
+    println!(
+        "model(3): {:.3} + {:.3}e-4*x | model(4): {:.3} + {:.3}e-4*x",
+        eq3.b,
+        eq3.a * 1e4,
+        eq4.b,
+        eq4.a * 1e4
+    );
+
+    let panels = [
+        (
+            "fig8a_ff_model3",
+            "Fig 8(a) first-fit bins, model (3)",
+            make_plan(Strategy::CapacityDriven, &manifest.files, &eq3, deadline),
+        ),
+        (
+            "fig8b_uniform_model3",
+            "Fig 8(b) uniform bins, model (3)",
+            make_plan(Strategy::UniformBins, &manifest.files, &eq3, deadline),
+        ),
+        (
+            "fig8c_uniform_model4",
+            "Fig 8(c) uniform bins, refit model (4)",
+            make_plan(Strategy::UniformBins, &manifest.files, &eq4, deadline),
+        ),
+        (
+            "fig8d_adjusted_model4",
+            "Fig 8(d) adjusted deadline, model (4)",
+            make_plan(
+                Strategy::AdjustedDeadline { p_miss: 0.1 },
+                &manifest.files,
+                &eq4,
+                deadline,
+            ),
+        ),
+    ];
+
+    let mut summary = Table::new(
+        "Fig 8 — summary (paper: a=27 inst, b=27 meets, c=22 with misses, d=30 inst-h fewer misses)",
+        &["panel", "instances", "inst-hours", "misses"],
+    );
+    for (i, (name, label, plan)) in panels.iter().enumerate() {
+        let (n, hours, misses) = emit_pos_panel(name, label, plan, 830 + i as u64);
+        summary.row(vec![
+            label.to_string(),
+            n.to_string(),
+            hours.to_string(),
+            misses.to_string(),
+        ]);
+    }
+    summary.emit("fig8_summary");
+}

@@ -1,0 +1,62 @@
+//! Figure 9 — POS-tagging schedules for a 2-hour deadline:
+//!
+//! * (a) uniform bins under model (3) — the deadline is met loosely
+//!   (the paper's 14 instances / 28 instance-hours);
+//! * (b) uniform bins under the refit model (4) — fewer instances (the
+//!   paper's 11) but misses;
+//! * (c) the adjusted deadline D₁ = D/(1+a) ≈ 6247 s — meets the deadline
+//!   at fewer instance-hours than (a) (the paper's 26).
+
+use bench::{emit_pos_panel, pos_calibration, screened_cloud, smoke, Table};
+use ec2sim::CloudConfig;
+use provision::{make_plan, Strategy};
+
+fn main() {
+    let scale = if smoke() { 0.1 } else { 1.0 };
+    let deadline = 7200.0;
+    let (mut cloud, inst) = screened_cloud(CloudConfig {
+        seed: 91,
+        ..CloudConfig::default()
+    });
+    let manifest = corpus::text_400k(scale, 2008);
+    let (eq3, eq4) = pos_calibration(&mut cloud, inst, &manifest);
+    cloud.terminate(inst).unwrap();
+
+    let panels = [
+        (
+            "fig9a_uniform_model3",
+            "Fig 9(a) uniform bins, model (3)",
+            make_plan(Strategy::UniformBins, &manifest.files, &eq3, deadline),
+        ),
+        (
+            "fig9b_uniform_model4",
+            "Fig 9(b) uniform bins, refit model (4)",
+            make_plan(Strategy::UniformBins, &manifest.files, &eq4, deadline),
+        ),
+        (
+            "fig9c_adjusted_model4",
+            "Fig 9(c) adjusted deadline, model (4)",
+            make_plan(
+                Strategy::AdjustedDeadline { p_miss: 0.1 },
+                &manifest.files,
+                &eq4,
+                deadline,
+            ),
+        ),
+    ];
+
+    let mut summary = Table::new(
+        "Fig 9 — summary (paper: a=14 inst/28 h loose, b=11 inst misses, c meets at 26 h)",
+        &["panel", "instances", "inst-hours", "misses"],
+    );
+    for (i, (name, label, plan)) in panels.iter().enumerate() {
+        let (n, hours, misses) = emit_pos_panel(name, label, plan, 900 + i as u64);
+        summary.row(vec![
+            label.to_string(),
+            n.to_string(),
+            hours.to_string(),
+            misses.to_string(),
+        ]);
+    }
+    summary.emit("fig9_summary");
+}

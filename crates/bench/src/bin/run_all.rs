@@ -1,0 +1,58 @@
+//! Run every figure/table regenerator in sequence (pass `--smoke` to run
+//! all of them at reduced scale).
+
+use std::process::Command;
+
+const BINS: &[&str] = &[
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "eqfits",
+    "fig8",
+    "fig9",
+    "dubliners",
+    "switch_analysis",
+    "retrieval",
+    "ablate_packing",
+    "ablate_deadline",
+    "ablate_hetero",
+    "ablate_weighted",
+];
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let exe_dir = std::env::current_exe()
+        .expect("current exe")
+        .parent()
+        .expect("exe dir")
+        .to_path_buf();
+    let mut failed = Vec::new();
+    for bin in BINS {
+        println!("\n########## {bin} ##########");
+        let mut cmd = Command::new(exe_dir.join(bin));
+        if smoke {
+            cmd.arg("--smoke");
+        }
+        match cmd.status() {
+            Ok(s) if s.success() => {}
+            Ok(s) => {
+                eprintln!("{bin} exited with {s}");
+                failed.push(*bin);
+            }
+            Err(e) => {
+                eprintln!("{bin} failed to start: {e} (build the workspace binaries first)");
+                failed.push(*bin);
+            }
+        }
+    }
+    if failed.is_empty() {
+        println!("\nall {} regenerators completed; CSVs in results/", BINS.len());
+    } else {
+        eprintln!("\nFAILED: {failed:?}");
+        std::process::exit(1);
+    }
+}

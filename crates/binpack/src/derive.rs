@@ -1,0 +1,96 @@
+//! Derived probes: packings at multiples of a base unit size.
+//!
+//! The paper packs a probe once at unit size `s0` and then derives the
+//! probes at `s1, …, sn` (chosen as multiples of `s0`) by merging the
+//! existing bins, "since we avoid rerunning the first fit bin packing
+//! algorithm, but can be sensitive to the quality of the original bins of
+//! size s0" (§4). We reproduce that: `derive_merged` merges `m` consecutive
+//! bins into one, `derive_probe_chain` produces the whole chain.
+
+use crate::item::Bin;
+use crate::pack::Packing;
+
+/// Merge every `factor` consecutive bins of `base` into one bin of capacity
+/// `factor · base.capacity`. The final merged bin may cover fewer than
+/// `factor` source bins. Oversize source bins merge like any other —
+/// after merging their content typically fits the larger unit.
+pub fn derive_merged(base: &Packing, factor: usize) -> Packing {
+    assert!(factor >= 1, "merge factor must be at least 1");
+    let capacity = base.capacity * factor as u64;
+    let mut bins: Vec<Bin> = Vec::new();
+    for chunk in base.bins.chunks(factor) {
+        let mut b = Bin::new(capacity);
+        for src in chunk {
+            for &item in &src.items {
+                b.push(item);
+            }
+        }
+        bins.push(b);
+    }
+    Packing { bins, capacity }
+}
+
+/// Produce the chain of derived packings for each factor in `factors`
+/// (e.g. `[2, 5, 10, 100]` for units `2·s0, 5·s0, 10·s0, 100·s0`).
+/// Each derivation starts from `base`, matching the paper's procedure.
+pub fn derive_probe_chain(base: &Packing, factors: &[usize]) -> Vec<Packing> {
+    factors.iter().map(|&f| derive_merged(base, f)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::item::Item;
+    use crate::subset_sum::subset_sum_first_fit;
+
+    #[test]
+    fn merging_halves_bin_count() {
+        let items = Item::from_sizes(&[10; 8]);
+        let base = subset_sum_first_fit(&items, 10);
+        assert_eq!(base.len(), 8);
+        let merged = derive_merged(&base, 2);
+        assert_eq!(merged.len(), 4);
+        assert_eq!(merged.capacity, 20);
+        assert_eq!(merged.total_size(), base.total_size());
+        assert_eq!(merged.total_items(), base.total_items());
+    }
+
+    #[test]
+    fn ragged_tail_bin_allowed() {
+        let items = Item::from_sizes(&[10; 5]);
+        let base = subset_sum_first_fit(&items, 10);
+        let merged = derive_merged(&base, 2);
+        assert_eq!(merged.len(), 3);
+        assert_eq!(merged.bins[2].used, 10); // lone tail bin
+    }
+
+    #[test]
+    fn factor_one_is_identity_on_content() {
+        let items = Item::from_sizes(&[3, 7, 5, 5]);
+        let base = subset_sum_first_fit(&items, 10);
+        let same = derive_merged(&base, 1);
+        assert_eq!(same.len(), base.len());
+        assert_eq!(same.bin_sizes(), base.bin_sizes());
+    }
+
+    #[test]
+    fn chain_produces_requested_factors() {
+        let items = Item::from_sizes(&[1; 100]);
+        let base = subset_sum_first_fit(&items, 10);
+        let chain = derive_probe_chain(&base, &[2, 5, 10]);
+        assert_eq!(chain.len(), 3);
+        assert_eq!(chain[0].capacity, 20);
+        assert_eq!(chain[1].capacity, 50);
+        assert_eq!(chain[2].capacity, 100);
+        for p in &chain {
+            assert_eq!(p.total_size(), 100);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_factor_rejected() {
+        let base = subset_sum_first_fit(&Item::from_sizes(&[1]), 10);
+        derive_merged(&base, 0);
+    }
+}

@@ -1,0 +1,223 @@
+//! Quantized-exact subset-sum packing.
+//!
+//! The greedy subset-sum first fit (the paper's heuristic) fills each bin
+//! with the largest remaining items that fit. This module solves each
+//! bin's subset-sum *exactly* on a quantized size scale via dynamic
+//! programming — the quality ceiling the greedy heuristic is measured
+//! against in the `ablate_packing` bench.
+//!
+//! Quantization: when `capacity <= resolution` the DP runs on exact
+//! sizes. Otherwise sizes are floor-scaled to `resolution` buckets and
+//! every candidate subset is re-verified against the *real* capacity at
+//! reconstruction, so bins never overflow; optimality is exact up to the
+//! quantization step `capacity / resolution`.
+
+use crate::item::{Bin, Item};
+use crate::pack::Packing;
+
+/// Pack `items` into bins of `capacity`, choosing each bin's content by a
+/// quantized-exact subset-sum DP over the remaining items.
+///
+/// `resolution` is the number of quantization buckets (e.g. 4096: bin
+/// fullness is optimal to within capacity/4096). Runtime is
+/// `O(bins × items × resolution)`.
+pub fn subset_sum_dp(items: &[Item], capacity: u64, resolution: usize) -> Packing {
+    assert!(capacity > 0, "bin capacity must be positive");
+    assert!(resolution >= 2, "resolution must be at least 2");
+    let mut bins: Vec<Bin> = Vec::new();
+
+    // Oversize items pass through untouched, as in the greedy variant.
+    for &item in items.iter().filter(|i| i.size > capacity) {
+        let mut b = Bin::new(capacity);
+        b.push(item);
+        bins.push(b);
+    }
+
+    // Quantize: exact when the capacity already fits the DP table;
+    // otherwise floor-scale (validity is re-checked on real sizes below).
+    let exact = capacity <= resolution as u64;
+    let scale = |s: u64| -> usize {
+        if exact {
+            s as usize
+        } else {
+            (((s as u128 * resolution as u128) / capacity as u128) as usize).max(1)
+        }
+    };
+    let table = if exact { capacity as usize } else { resolution };
+    let mut remaining: Vec<(usize, Item, usize)> = items
+        .iter()
+        .copied()
+        .enumerate()
+        .filter(|(_, i)| i.size <= capacity)
+        .map(|(pos, i)| (pos, i, scale(i.size)))
+        .collect();
+
+    while !remaining.is_empty() {
+        // DP over quantized sums 0..=table. parent[j] = (item index in
+        // `remaining`, previous sum) for the first chain reaching j; the
+        // descending-j sweep guarantees each chain uses an item at most
+        // once.
+        let mut parent: Vec<Option<(usize, usize)>> = vec![None; table + 1];
+        let mut reachable = vec![false; table + 1];
+        reachable[0] = true;
+        for (k, &(_, _, q)) in remaining.iter().enumerate() {
+            if q > table {
+                continue;
+            }
+            for j in (q..=table).rev() {
+                if !reachable[j] && reachable[j - q] {
+                    reachable[j] = true;
+                    parent[j] = Some((k, j - q));
+                }
+            }
+        }
+        // Best *real-feasible* chain: walk quantized sums downward and
+        // verify the reconstructed subset against the true capacity
+        // (floor quantization can overshoot by < chain_len · C/R).
+        let mut chosen: Vec<usize> = Vec::new();
+        for best in (1..=table).rev() {
+            if !reachable[best] {
+                continue;
+            }
+            let mut chain = Vec::new();
+            let mut j = best;
+            let mut real = 0u64;
+            while let Some((k, prev)) = parent[j] {
+                chain.push(k);
+                real += remaining[k].1.size;
+                j = prev;
+            }
+            if real <= capacity {
+                chosen = chain;
+                break;
+            }
+        }
+        if chosen.is_empty() {
+            // Only items with q > resolution remain (can't happen since
+            // q(s) ≤ R for s ≤ C) — or the zero-size corner: flush all
+            // zero-quantum items into one bin to guarantee progress.
+            let mut b = Bin::new(capacity);
+            for (_, item, _) in remaining.drain(..) {
+                b.push(item);
+            }
+            bins.push(b);
+            break;
+        }
+        chosen.sort_unstable();
+        let mut b = Bin::new(capacity);
+        // Preserve input order inside the bin.
+        let mut members: Vec<(usize, Item)> = chosen
+            .iter()
+            .map(|&k| (remaining[k].0, remaining[k].1))
+            .collect();
+        members.sort_by_key(|&(pos, _)| pos);
+        for (_, item) in members {
+            b.push(item);
+        }
+        debug_assert!(b.used <= capacity, "quantization must never overflow");
+        bins.push(b);
+        for &k in chosen.iter().rev() {
+            remaining.remove(k);
+        }
+    }
+
+    Packing { bins, capacity }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::subset_sum::subset_sum_first_fit;
+
+    fn items(sizes: &[u64]) -> Vec<Item> {
+        Item::from_sizes(sizes)
+    }
+
+    #[test]
+    fn finds_exact_fits_greedy_misses() {
+        // Greedy largest-first takes 6+3=9 then 5+4=9; the DP finds the
+        // two perfect 6+4 / 5+3+2 partitions at capacity 10.
+        let sizes = [6, 5, 4, 3, 2];
+        let dp = subset_sum_dp(&items(&sizes), 10, 1024);
+        assert_eq!(dp.len(), 2);
+        assert_eq!(dp.bins[0].used, 10);
+        assert_eq!(dp.bins[1].used, 10);
+    }
+
+    #[test]
+    fn comparable_to_greedy_with_fuller_first_bins() {
+        // Sequential per-bin-optimal filling is not globally bin-minimal:
+        // taking the tightest-filling subsets early can strand awkward
+        // leftovers and even use MORE bins than the greedy. The sound
+        // claims: the DP's first bin is never less full, and the bin
+        // counts stay close.
+        for seed in 0..20u64 {
+            let sizes: Vec<u64> = (0..30)
+                .map(|i| (seed.wrapping_mul(31).wrapping_add(i * 17)) % 97 + 1)
+                .collect();
+            let dp = subset_sum_dp(&items(&sizes), 100, 4096);
+            let greedy = subset_sum_first_fit(&items(&sizes), 100);
+            assert_eq!(dp.total_size(), greedy.total_size());
+            assert!(
+                dp.len() <= greedy.len() + 3 && greedy.len() <= dp.len() + 3,
+                "seed {seed}: dp {} vs greedy {}",
+                dp.len(),
+                greedy.len()
+            );
+            assert!(
+                dp.bins[0].used >= greedy.bins[0].used,
+                "seed {seed}: dp first bin {} < greedy {}",
+                dp.bins[0].used,
+                greedy.bins[0].used
+            );
+        }
+    }
+
+    #[test]
+    fn conserves_items_and_respects_capacity() {
+        let sizes: Vec<u64> = (1..=50).map(|i| (i * 13) % 40 + 1).collect();
+        let p = subset_sum_dp(&items(&sizes), 64, 512);
+        assert_eq!(p.total_items(), sizes.len());
+        assert_eq!(p.total_size(), sizes.iter().sum::<u64>());
+        for b in &p.bins {
+            assert!(b.is_oversize() || b.used <= 64);
+        }
+    }
+
+    #[test]
+    fn order_preserved_within_bins() {
+        let p = subset_sum_dp(&items(&[3, 7, 5, 5]), 10, 256);
+        for b in &p.bins {
+            let ids: Vec<u64> = b.items.iter().map(|i| i.id).collect();
+            let mut sorted = ids.clone();
+            sorted.sort_unstable();
+            assert_eq!(ids, sorted);
+        }
+    }
+
+    #[test]
+    fn oversize_pass_through() {
+        let p = subset_sum_dp(&items(&[50, 6, 4]), 10, 256);
+        assert_eq!(p.len(), 2);
+        assert!(p.bins[0].is_oversize());
+        assert_eq!(p.bins[1].used, 10);
+    }
+
+    #[test]
+    fn zero_size_items_terminate() {
+        let p = subset_sum_dp(&items(&[0, 0, 0]), 10, 256);
+        assert_eq!(p.total_items(), 3);
+    }
+
+    #[test]
+    fn empty_input() {
+        let p = subset_sum_dp(&[], 10, 256);
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "resolution must be at least 2")]
+    fn tiny_resolution_rejected() {
+        subset_sum_dp(&items(&[1]), 10, 1);
+    }
+}

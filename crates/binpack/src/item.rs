@@ -1,0 +1,141 @@
+//! Items (files) and bins (unit files) used by every packing algorithm.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of an item. Packing never inspects it; it exists so callers can
+/// map bins back to the original files they were built from.
+pub type ItemId = u64;
+
+/// A single file to pack: an opaque id plus its size in bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Item {
+    /// Caller-provided identifier (e.g. index into a corpus manifest).
+    pub id: ItemId,
+    /// Size in bytes. Zero-sized items are legal and occupy no capacity.
+    pub size: u64,
+}
+
+impl Item {
+    /// Create an item with the given id and size.
+    pub fn new(id: ItemId, size: u64) -> Self {
+        Item { id, size }
+    }
+
+    /// Build items from bare sizes, ids assigned by position.
+    pub fn from_sizes(sizes: &[u64]) -> Vec<Item> {
+        sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| Item::new(i as u64, s))
+            .collect()
+    }
+}
+
+/// One bin: a unit file assembled from a group of items.
+///
+/// An item larger than the capacity is placed alone in an *oversize* bin —
+/// the paper's corpora contain such files (HTML_18mil max is 43 MB) and they
+/// cannot be split, so they travel as-is.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Bin {
+    /// Items in the order they will be concatenated.
+    pub items: Vec<Item>,
+    /// Sum of item sizes, cached.
+    pub used: u64,
+    /// Capacity this bin was packed against.
+    pub capacity: u64,
+}
+
+impl Bin {
+    /// An empty bin with the given capacity.
+    pub fn new(capacity: u64) -> Self {
+        Bin {
+            items: Vec::new(),
+            used: 0,
+            capacity,
+        }
+    }
+
+    /// Remaining free space; zero when the bin is at or over capacity
+    /// (oversize bins report zero, never underflow).
+    pub fn free(&self) -> u64 {
+        self.capacity.saturating_sub(self.used)
+    }
+
+    /// Whether `item` fits in the remaining space.
+    pub fn fits(&self, item: &Item) -> bool {
+        item.size <= self.free()
+    }
+
+    /// Append an item unconditionally (callers check `fits` first except for
+    /// oversize placement).
+    pub fn push(&mut self, item: Item) {
+        self.used += item.size;
+        self.items.push(item);
+    }
+
+    /// Number of items in the bin.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when the bin contains no items.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// True when the single item inside exceeds the capacity.
+    pub fn is_oversize(&self) -> bool {
+        self.used > self.capacity
+    }
+
+    /// Fill factor in `[0, 1]` for regular bins; oversize bins report 1.
+    pub fn fill(&self) -> f64 {
+        if self.capacity == 0 {
+            return 1.0;
+        }
+        (self.used.min(self.capacity)) as f64 / self.capacity as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bin_accounting() {
+        let mut b = Bin::new(100);
+        assert!(b.is_empty());
+        assert_eq!(b.free(), 100);
+        b.push(Item::new(0, 60));
+        assert_eq!(b.free(), 40);
+        assert!(b.fits(&Item::new(1, 40)));
+        assert!(!b.fits(&Item::new(1, 41)));
+        b.push(Item::new(1, 40));
+        assert_eq!(b.free(), 0);
+        assert_eq!(b.len(), 2);
+        assert!((b.fill() - 1.0).abs() < 1e-12);
+        assert!(!b.is_oversize());
+    }
+
+    #[test]
+    fn oversize_bin_reports_zero_free() {
+        let mut b = Bin::new(10);
+        b.push(Item::new(0, 25));
+        assert!(b.is_oversize());
+        assert_eq!(b.free(), 0);
+        assert!((b.fill() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_capacity_bin_fill_defined() {
+        let b = Bin::new(0);
+        assert!((b.fill() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_sizes_assigns_positional_ids() {
+        let items = Item::from_sizes(&[3, 1, 4]);
+        assert_eq!(items[2], Item::new(2, 4));
+    }
+}

@@ -1,0 +1,94 @@
+//! Summary statistics for a packing — used by probe reports and ablations.
+
+use crate::pack::Packing;
+use serde::{Deserialize, Serialize};
+
+/// Aggregate quality metrics of a packing.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PackingStats {
+    /// Number of bins produced.
+    pub bins: usize,
+    /// Number of oversize bins (single item above capacity).
+    pub oversize_bins: usize,
+    /// Total bytes packed.
+    pub total_bytes: u64,
+    /// Total items packed.
+    pub total_items: usize,
+    /// Mean fill factor over non-oversize bins (1.0 if there are none).
+    pub mean_fill: f64,
+    /// Minimum fill factor over non-oversize bins.
+    pub min_fill: f64,
+    /// Wasted capacity in bytes over non-oversize bins.
+    pub waste_bytes: u64,
+    /// Largest bin (bytes).
+    pub max_bin_bytes: u64,
+    /// Smallest bin (bytes).
+    pub min_bin_bytes: u64,
+}
+
+impl PackingStats {
+    /// Compute statistics for `p`.
+    pub fn of(p: &Packing) -> Self {
+        let regular: Vec<_> = p.bins.iter().filter(|b| !b.is_oversize()).collect();
+        let oversize_bins = p.len() - regular.len();
+        let (mean_fill, min_fill, waste_bytes) = if regular.is_empty() {
+            (1.0, 1.0, 0)
+        } else {
+            let fills: Vec<f64> = regular.iter().map(|b| b.fill()).collect();
+            let mean = fills.iter().sum::<f64>() / fills.len() as f64;
+            let min = fills.iter().cloned().fold(f64::INFINITY, f64::min);
+            let waste = regular.iter().map(|b| b.free()).sum();
+            (mean, min, waste)
+        };
+        let sizes = p.bin_sizes();
+        PackingStats {
+            bins: p.len(),
+            oversize_bins,
+            total_bytes: p.total_size(),
+            total_items: p.total_items(),
+            mean_fill,
+            min_fill,
+            waste_bytes,
+            max_bin_bytes: sizes.iter().copied().max().unwrap_or(0),
+            min_bin_bytes: sizes.iter().copied().min().unwrap_or(0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::item::Item;
+    use crate::pack::first_fit;
+    use crate::subset_sum::subset_sum_first_fit;
+
+    #[test]
+    fn stats_on_perfect_packing() {
+        let p = subset_sum_first_fit(&Item::from_sizes(&[6, 4, 6, 4]), 10);
+        let s = PackingStats::of(&p);
+        assert_eq!(s.bins, 2);
+        assert_eq!(s.oversize_bins, 0);
+        assert!((s.mean_fill - 1.0).abs() < 1e-12);
+        assert_eq!(s.waste_bytes, 0);
+        assert_eq!(s.max_bin_bytes, 10);
+    }
+
+    #[test]
+    fn stats_count_oversize_separately() {
+        let p = first_fit(&Item::from_sizes(&[25, 5]), 10);
+        let s = PackingStats::of(&p);
+        assert_eq!(s.bins, 2);
+        assert_eq!(s.oversize_bins, 1);
+        assert_eq!(s.waste_bytes, 5); // only the regular bin's free space
+        assert_eq!(s.total_bytes, 30);
+    }
+
+    #[test]
+    fn stats_on_empty_packing() {
+        let p = first_fit(&[], 10);
+        let s = PackingStats::of(&p);
+        assert_eq!(s.bins, 0);
+        assert_eq!(s.total_bytes, 0);
+        assert!((s.mean_fill - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,132 @@
+//! The subset-sum first fit heuristic (Vazirani, as cited by the paper).
+//!
+//! Plain first fit fills a bin with whatever happens to arrive while it has
+//! room. The subset-sum variant instead closes bins one at a time: for the
+//! current bin it repeatedly takes the **largest remaining item that still
+//! fits**, approximating the subset of remaining items whose sizes sum
+//! closest to the capacity. The result is bins that match the desired unit
+//! file size much more tightly, which is exactly what the paper wants when
+//! reshaping a probe to a target unit size.
+
+use crate::item::{Bin, Item};
+use crate::pack::Packing;
+
+/// Pack `items` into bins of `capacity` using greedy subset-sum first fit.
+///
+/// For each bin, items are drawn largest-first among those that fit the
+/// remaining space; ties are broken by input position (earlier first), and
+/// the items inside a bin are finally re-ordered by input position so
+/// concatenation order remains stable. Items larger than `capacity` are
+/// emitted as dedicated oversize bins, in input order, before any merged bin
+/// that would otherwise follow them.
+pub fn subset_sum_first_fit(items: &[Item], capacity: u64) -> Packing {
+    assert!(capacity > 0, "bin capacity must be positive");
+    let mut bins: Vec<Bin> = Vec::new();
+
+    // Oversize items pass through untouched.
+    for &item in items.iter().filter(|i| i.size > capacity) {
+        let mut b = Bin::new(capacity);
+        b.push(item);
+        bins.push(b);
+    }
+
+    // Remaining items, sorted by size descending (stable on input order).
+    let mut pos: Vec<(usize, Item)> = items
+        .iter()
+        .copied()
+        .enumerate()
+        .filter(|(_, i)| i.size <= capacity)
+        .collect();
+    pos.sort_by(|a, b| b.1.size.cmp(&a.1.size).then(a.0.cmp(&b.0)));
+
+    let mut taken = vec![false; pos.len()];
+    let mut remaining = pos.len();
+    while remaining > 0 {
+        let mut bin_members: Vec<(usize, Item)> = Vec::new();
+        let mut free = capacity;
+        // Greedy: scan the descending list, take everything that fits.
+        for (k, &(orig, item)) in pos.iter().enumerate() {
+            if taken[k] || item.size > free {
+                continue;
+            }
+            taken[k] = true;
+            remaining -= 1;
+            free -= item.size;
+            bin_members.push((orig, item));
+            if free == 0 {
+                break;
+            }
+        }
+        // Restore input order within the bin for stable concatenation.
+        bin_members.sort_by_key(|&(orig, _)| orig);
+        let mut b = Bin::new(capacity);
+        for (_, item) in bin_members {
+            b.push(item);
+        }
+        bins.push(b);
+    }
+
+    Packing { bins, capacity }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pack::first_fit;
+
+    fn items(sizes: &[u64]) -> Vec<Item> {
+        Item::from_sizes(sizes)
+    }
+
+    #[test]
+    fn fills_bins_tighter_than_first_fit() {
+        // FF on this input wastes space; subset-sum finds exact fits.
+        let sizes = [6, 6, 6, 4, 4, 4];
+        let ss = subset_sum_first_fit(&items(&sizes), 10);
+        let ff = first_fit(&items(&sizes), 10);
+        assert_eq!(ss.len(), 3); // three perfect 6+4 bins
+        assert!(ss.len() <= ff.len());
+        for b in &ss.bins {
+            assert_eq!(b.used, 10);
+        }
+    }
+
+    #[test]
+    fn conserves_items_and_bytes() {
+        let sizes = [9, 1, 8, 2, 7, 3, 6, 4, 5, 5];
+        let p = subset_sum_first_fit(&items(&sizes), 10);
+        assert_eq!(p.total_items(), sizes.len());
+        assert_eq!(p.total_size(), sizes.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn bin_contents_keep_input_order() {
+        let p = subset_sum_first_fit(&items(&[4, 6]), 10);
+        assert_eq!(p.len(), 1);
+        let ids: Vec<u64> = p.bins[0].items.iter().map(|i| i.id).collect();
+        assert_eq!(ids, vec![0, 1]);
+    }
+
+    #[test]
+    fn oversize_handled_separately() {
+        let p = subset_sum_first_fit(&items(&[30, 6, 4]), 10);
+        assert_eq!(p.len(), 2);
+        assert!(p.bins[0].is_oversize());
+        assert_eq!(p.bins[1].used, 10);
+    }
+
+    #[test]
+    fn never_overflows_regular_bins() {
+        let sizes: Vec<u64> = (1..=50).map(|i| (i * 7) % 13 + 1).collect();
+        let p = subset_sum_first_fit(&Item::from_sizes(&sizes), 20);
+        for b in &p.bins {
+            assert!(b.is_oversize() || b.used <= 20);
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        let p = subset_sum_first_fit(&[], 10);
+        assert!(p.is_empty());
+    }
+}

@@ -1,0 +1,180 @@
+//! `reshape-cli` — run the end-to-end pipeline from the command line.
+//!
+//! ```text
+//! reshape-cli [--corpus html|text] [--scale F] [--app grep|pos|tokenize]
+//!             [--deadline SECS] [--strategy capacity|uniform|adjusted]
+//!             [--staging ebs|local] [--seed N] [--refit] [--json]
+//! ```
+
+use reshape::{
+    App, FitWeighting, ModelKind, ModelSelection, Pipeline, PipelineConfig, ProbeCampaign,
+    RefitConfig, StagingTier, Strategy, UnitSize, Workload,
+};
+
+struct Args {
+    corpus: String,
+    scale: f64,
+    app: String,
+    deadline: f64,
+    strategy: String,
+    staging: String,
+    seed: u64,
+    refit: bool,
+    json: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: reshape-cli [--corpus html|text] [--scale F] [--app grep|pos|tokenize]\n\
+         \x20                  [--deadline SECS] [--strategy capacity|uniform|adjusted]\n\
+         \x20                  [--staging ebs|local] [--seed N] [--refit] [--json]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        corpus: "html".into(),
+        scale: 0.001,
+        app: "grep".into(),
+        deadline: 10.0,
+        strategy: "uniform".into(),
+        staging: "ebs".into(),
+        seed: 2008,
+        refit: false,
+        json: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let value = |it: &mut dyn Iterator<Item = String>| it.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--corpus" => args.corpus = value(&mut it),
+            "--scale" => args.scale = value(&mut it).parse().unwrap_or_else(|_| usage()),
+            "--app" => args.app = value(&mut it),
+            "--deadline" => args.deadline = value(&mut it).parse().unwrap_or_else(|_| usage()),
+            "--strategy" => args.strategy = value(&mut it),
+            "--staging" => args.staging = value(&mut it),
+            "--seed" => args.seed = value(&mut it).parse().unwrap_or_else(|_| usage()),
+            "--refit" => args.refit = true,
+            "--json" => args.json = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other}");
+                usage();
+            }
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let manifest = match args.corpus.as_str() {
+        "html" => corpus::html_18mil(args.scale, args.seed),
+        "text" => corpus::text_400k(args.scale, args.seed),
+        other => {
+            eprintln!("unknown corpus {other}");
+            usage();
+        }
+    };
+    let app = match args.app.as_str() {
+        "grep" => App::grep("zxqvnonsense"),
+        "pos" => App::pos(),
+        "tokenize" => App::tokenize(),
+        other => {
+            eprintln!("unknown app {other}");
+            usage();
+        }
+    };
+    let strategy = match args.strategy.as_str() {
+        "capacity" => Strategy::CapacityDriven,
+        "uniform" => Strategy::UniformBins,
+        "adjusted" => Strategy::AdjustedDeadline { p_miss: 0.1 },
+        other => {
+            eprintln!("unknown strategy {other}");
+            usage();
+        }
+    };
+    let staging = match args.staging.as_str() {
+        "ebs" => StagingTier::Ebs,
+        "local" => StagingTier::Local,
+        other => {
+            eprintln!("unknown staging tier {other}");
+            usage();
+        }
+    };
+
+    // Probe scale follows the corpus volume.
+    let total = manifest.total_volume();
+    let probe = ProbeCampaign {
+        v0: (total / 200).max(1_000_000),
+        growth: 5,
+        max_volume: total / 2,
+        repeats: 5,
+        s0: (manifest.max_file_size() + 1).next_power_of_two().max(1_000_000),
+        factors: vec![10, 50, 100],
+        stability_cv: 0.20,
+        min_sets: 3,
+    };
+    let config = PipelineConfig {
+        cloud: ec2sim::CloudConfig {
+            seed: args.seed,
+            ..ec2sim::CloudConfig::default()
+        },
+        probe,
+        deadline_secs: args.deadline,
+        strategy,
+        staging,
+        selection: ModelSelection::Fixed(ModelKind::Affine),
+        weighting: FitWeighting::Uniform,
+        refit: args.refit.then_some(RefitConfig {
+            sample_volume: total / 20,
+            samples: 3,
+        }),
+        ..PipelineConfig::default()
+    };
+
+    let workload = Workload::new(manifest, app);
+    let report = match Pipeline::new(config).run(&workload) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("pipeline failed: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    if args.json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&report).expect("report serializes")
+        );
+        return;
+    }
+
+    println!("corpus      : {} ({} files, {} B)", workload.manifest.name, workload.manifest.len(), workload.manifest.total_volume());
+    match report.unit {
+        UnitSize::Original => println!("unit size   : original segmentation"),
+        UnitSize::Bytes(b) => println!("unit size   : {b} B"),
+    }
+    println!(
+        "reshape     : {} -> {} files ({:.1}x)",
+        report.reshape.original_files,
+        report.reshape.files.len(),
+        report.reshape.merge_ratio()
+    );
+    println!(
+        "model       : t(x) = {:.3} + {:.3e}*x (R^2 {:.4})",
+        report.fit.b, report.fit.a, report.fit.r2
+    );
+    println!(
+        "plan        : {} instances, predicted makespan {:.1}s / deadline {:.0}s",
+        report.planned_instances, report.predicted_makespan_secs, report.execution.deadline_secs
+    );
+    println!(
+        "execution   : makespan {:.1}s | {} misses | {} instance-hours | ${:.3}",
+        report.execution.makespan_secs,
+        report.execution.misses,
+        report.execution.instance_hours,
+        report.execution.cost
+    );
+}

@@ -1,0 +1,54 @@
+//! `reshape` — the end-to-end pipeline of the paper.
+//!
+//! Given a corpus of many small files, an application (grep-like or
+//! POS-tagging-like) and a user deadline, the pipeline:
+//!
+//! 1. acquires a screened, stable cloud instance (bonnie++ gate, §4);
+//! 2. runs a **probe campaign** over (volume × unit-file-size) to find the
+//!    preferred unit size (§4, Figs 3–5, 7);
+//! 3. **reshapes** the corpus by subset-sum first-fit merging to that unit
+//!    size (§1, §4);
+//! 4. fits an empirical **performance model** runtime = f(volume) and
+//!    optionally refits it from random samples (§5, Eqs (1)–(4));
+//! 5. builds a **provisioning plan** for the deadline (capacity-driven /
+//!    uniform / adjusted-deadline, §5.2);
+//! 6. **executes** the plan on a fleet of simulated EC2 instances and
+//!    reports per-instance times, misses, instance-hours and dollars.
+//!
+//! ```
+//! use reshape::{App, Pipeline, PipelineConfig, ProbeCampaign, Workload};
+//!
+//! let manifest = corpus::html_18mil(0.0005, 7); // a slice of HTML_18mil
+//! let workload = Workload::new(manifest, App::grep("nonsenseword"));
+//! let report = Pipeline::new(PipelineConfig {
+//!     deadline_secs: 10.0,
+//!     probe: ProbeCampaign {
+//!         v0: 5_000_000,
+//!         max_volume: 300_000_000,
+//!         repeats: 3,
+//!         ..ProbeCampaign::default()
+//!     },
+//!     ..PipelineConfig::default()
+//! })
+//! .run(&workload)
+//! .expect("pipeline");
+//! assert!(!report.execution.runs.is_empty());
+//! ```
+
+mod pipeline;
+mod reshape_step;
+mod workload;
+
+pub use pipeline::{
+    FitWeighting, ModelSelection, Pipeline, PipelineConfig, PipelineError, PipelineReport,
+    RefitConfig,
+};
+pub use reshape_step::{reshape_manifest, ReshapeOutcome};
+pub use workload::{App, Workload};
+
+// Re-export the pieces users compose with.
+pub use binpack::{Algorithm, PackingStats};
+pub use corpus::{FileSpec, Manifest};
+pub use ec2sim::{Cloud, CloudConfig};
+pub use perfmodel::{Fit, ModelKind, ProbeCampaign, UnitSize};
+pub use provision::{ExecutionReport, StagingTier, Strategy};

@@ -1,0 +1,152 @@
+//! The reshape step: merge a corpus's files into unit files of the chosen
+//! size with subset-sum first fit.
+
+use binpack::{subset_sum_first_fit, Item, PackingStats};
+use corpus::{FileSpec, Manifest};
+use perfmodel::UnitSize;
+use serde::{Deserialize, Serialize};
+
+/// The result of reshaping a corpus.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReshapeOutcome {
+    /// The unit size that was applied.
+    pub unit: UnitSize,
+    /// The reshaped file list (merged unit files, or the original files
+    /// when the chosen unit is `Original`).
+    pub files: Vec<FileSpec>,
+    /// Packing statistics (trivial for `Original`).
+    pub stats: PackingStats,
+    /// Input file count, for the compression ratio.
+    pub original_files: usize,
+}
+
+impl ReshapeOutcome {
+    /// How many input files map to one output file on average.
+    pub fn merge_ratio(&self) -> f64 {
+        if self.files.is_empty() {
+            return 1.0;
+        }
+        self.original_files as f64 / self.files.len() as f64
+    }
+}
+
+/// Reshape `manifest` to `unit`. Merged unit files carry the size-weighted
+/// mean complexity of their members — concatenating documents preserves
+/// per-byte tagging cost.
+pub fn reshape_manifest(manifest: &Manifest, unit: UnitSize) -> ReshapeOutcome {
+    match unit {
+        UnitSize::Original => {
+            let items: Vec<Item> = manifest
+                .files
+                .iter()
+                .map(|f| Item::new(f.id, f.size))
+                .collect();
+            // Degenerate packing (one file per bin) only for stats.
+            let cap = manifest.max_file_size().max(1);
+            let packing = binpack::Packing {
+                bins: items
+                    .iter()
+                    .map(|&it| {
+                        let mut b = binpack::Bin::new(cap);
+                        b.push(it);
+                        b
+                    })
+                    .collect(),
+                capacity: cap,
+            };
+            ReshapeOutcome {
+                unit,
+                files: manifest.files.clone(),
+                stats: PackingStats::of(&packing),
+                original_files: manifest.len(),
+            }
+        }
+        UnitSize::Bytes(target) => {
+            let items: Vec<Item> = manifest
+                .files
+                .iter()
+                .enumerate()
+                .map(|(i, f)| Item::new(i as u64, f.size))
+                .collect();
+            let packing = subset_sum_first_fit(&items, target);
+            let files = packing
+                .bins
+                .iter()
+                .enumerate()
+                .filter(|(_, b)| !b.is_empty())
+                .map(|(i, b)| {
+                    let mut weighted = 0.0f64;
+                    for it in &b.items {
+                        let f = &manifest.files[it.id as usize];
+                        weighted += f.complexity * f.size as f64;
+                    }
+                    FileSpec {
+                        id: i as u64,
+                        size: b.used,
+                        complexity: if b.used > 0 {
+                            weighted / b.used as f64
+                        } else {
+                            1.0
+                        },
+                    }
+                })
+                .collect();
+            ReshapeOutcome {
+                unit,
+                files,
+                stats: PackingStats::of(&packing),
+                original_files: manifest.len(),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn manifest(sizes: &[u64]) -> Manifest {
+        let files = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| FileSpec::new(i as u64, s))
+            .collect();
+        Manifest::new("t", files, 0)
+    }
+
+    #[test]
+    fn merging_conserves_bytes() {
+        let m = manifest(&[300, 700, 500, 500, 999, 1]);
+        let out = reshape_manifest(&m, UnitSize::Bytes(1_000));
+        let total: u64 = out.files.iter().map(|f| f.size).sum();
+        assert_eq!(total, m.total_volume());
+        assert_eq!(out.files.len(), 3);
+        assert!((out.merge_ratio() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn original_is_identity() {
+        let m = manifest(&[10, 20, 30]);
+        let out = reshape_manifest(&m, UnitSize::Original);
+        assert_eq!(out.files, m.files);
+        assert_eq!(out.stats.bins, 3);
+    }
+
+    #[test]
+    fn oversize_files_pass_through() {
+        let m = manifest(&[5_000, 100]);
+        let out = reshape_manifest(&m, UnitSize::Bytes(1_000));
+        assert!(out.files.iter().any(|f| f.size == 5_000));
+        assert_eq!(out.stats.oversize_bins, 1);
+    }
+
+    #[test]
+    fn complexity_weighted_through_merge() {
+        let mut m = manifest(&[400, 600]);
+        m.files[0].complexity = 2.0;
+        m.files[1].complexity = 1.0;
+        let out = reshape_manifest(&m, UnitSize::Bytes(1_000));
+        assert_eq!(out.files.len(), 1);
+        assert!((out.files[0].complexity - 1.4).abs() < 1e-12);
+    }
+}

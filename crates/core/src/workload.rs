@@ -1,0 +1,105 @@
+//! Workloads: a corpus plus the application that will consume it.
+
+use serde::{Deserialize, Serialize};
+use textapps::{AppCostModel, AppKind, GrepCostModel, PosCostModel, TokenizeCostModel};
+
+/// The application of a workload. Carries the calibrated cost model used
+/// by the simulator; the *real* engines ([`textapps::Grep`],
+/// [`textapps::PosTagger`]) run in examples and tests over actual bytes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum App {
+    /// Fixed-string search (I/O-bound; the paper's worst-case non-matching
+    /// dictionary word).
+    Grep {
+        /// The search pattern.
+        pattern: String,
+        /// Cost model.
+        model: GrepCostModel,
+    },
+    /// Part-of-speech tagging (CPU/memory-bound).
+    PosTag {
+        /// Cost model.
+        model: PosCostModel,
+    },
+    /// Tokenization / word counting (moderately CPU-bound; §5.1's "basic
+    /// NLP" full-traversal pattern).
+    Tokenize {
+        /// Cost model.
+        model: TokenizeCostModel,
+    },
+}
+
+impl App {
+    /// A grep workload with the default calibrated model.
+    pub fn grep(pattern: &str) -> Self {
+        App::Grep {
+            pattern: pattern.to_string(),
+            model: GrepCostModel::default(),
+        }
+    }
+
+    /// A POS-tagging workload with the default calibrated model.
+    pub fn pos() -> Self {
+        App::PosTag {
+            model: PosCostModel::default(),
+        }
+    }
+
+    /// A tokenization workload with the default calibrated model.
+    pub fn tokenize() -> Self {
+        App::Tokenize {
+            model: TokenizeCostModel::default(),
+        }
+    }
+
+    /// The simulator cost model.
+    pub fn cost_model(&self) -> &dyn AppCostModel {
+        match self {
+            App::Grep { model, .. } => model,
+            App::PosTag { model } => model,
+            App::Tokenize { model } => model,
+        }
+    }
+
+    /// Which kind of app this is.
+    pub fn kind(&self) -> AppKind {
+        self.cost_model().kind()
+    }
+}
+
+/// A corpus plus its application.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Workload {
+    /// The input corpus.
+    pub manifest: corpus::Manifest,
+    /// The application.
+    pub app: App,
+}
+
+impl Workload {
+    /// Pair a corpus with an application.
+    pub fn new(manifest: corpus::Manifest, app: App) -> Self {
+        Workload { manifest, app }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn app_kinds() {
+        assert_eq!(App::grep("x").kind(), AppKind::Grep);
+        assert_eq!(App::pos().kind(), AppKind::PosTag);
+        assert_eq!(App::tokenize().kind(), AppKind::Tokenize);
+    }
+
+    #[test]
+    fn cost_model_dispatch() {
+        let files = [corpus::FileSpec::new(0, 1_000_000)];
+        let env = textapps::ExecEnv::nominal();
+        let g = App::grep("x").cost_model().runtime_secs(&files, &env);
+        let p = App::pos().cost_model().runtime_secs(&files, &env);
+        assert!(p > g, "POS must be far slower per byte ({p} vs {g})");
+    }
+}

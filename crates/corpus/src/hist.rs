@@ -1,0 +1,101 @@
+//! Histogram utilities — regenerates the frequency distributions of
+//! Fig 1(a) (10 kB bins) and Fig 1(b) (1 kB bins).
+
+use crate::manifest::Manifest;
+use serde::{Deserialize, Serialize};
+
+/// One histogram bin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramBin {
+    /// Inclusive lower bound in bytes.
+    pub lo: u64,
+    /// Exclusive upper bound in bytes.
+    pub hi: u64,
+    /// Number of files whose size falls in `[lo, hi)`.
+    pub count: u64,
+}
+
+/// Histogram of file sizes with bins of width `bin_width` bytes, truncated
+/// at `max_size` (the paper plots Fig 1(a) "up to files of size 300 kB");
+/// a final overflow bin `[max_size, ∞)` collects the tail when `overflow`
+/// is true.
+pub fn histogram(m: &Manifest, bin_width: u64, max_size: u64, overflow: bool) -> Vec<HistogramBin> {
+    assert!(bin_width > 0, "bin width must be positive");
+    assert!(max_size > 0, "max size must be positive");
+    let nbins = max_size.div_ceil(bin_width) as usize;
+    let mut bins: Vec<HistogramBin> = (0..nbins)
+        .map(|i| HistogramBin {
+            lo: i as u64 * bin_width,
+            hi: ((i as u64 + 1) * bin_width).min(max_size),
+            count: 0,
+        })
+        .collect();
+    let mut over = 0u64;
+    for f in &m.files {
+        if f.size < max_size {
+            bins[(f.size / bin_width) as usize].count += 1;
+        } else {
+            over += 1;
+        }
+    }
+    if overflow {
+        bins.push(HistogramBin {
+            lo: max_size,
+            hi: u64::MAX,
+            count: over,
+        });
+    }
+    bins
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manifest::FileSpec;
+
+    fn manifest(sizes: &[u64]) -> Manifest {
+        let files = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| FileSpec::new(i as u64, s))
+            .collect();
+        Manifest::new("t", files, 0)
+    }
+
+    #[test]
+    fn bins_partition_sizes() {
+        let m = manifest(&[0, 5, 10, 15, 25, 100]);
+        let h = histogram(&m, 10, 30, true);
+        assert_eq!(h.len(), 4);
+        assert_eq!(h[0].count, 2); // 0, 5
+        assert_eq!(h[1].count, 2); // 10, 15
+        assert_eq!(h[2].count, 1); // 25
+        assert_eq!(h[3].count, 1); // 100 overflow
+        let total: u64 = h.iter().map(|b| b.count).sum();
+        assert_eq!(total, m.len() as u64);
+    }
+
+    #[test]
+    fn without_overflow_tail_is_dropped() {
+        let m = manifest(&[5, 100]);
+        let h = histogram(&m, 10, 30, false);
+        let total: u64 = h.iter().map(|b| b.count).sum();
+        assert_eq!(total, 1);
+    }
+
+    #[test]
+    fn boundary_sizes_go_to_upper_bin() {
+        let m = manifest(&[10]);
+        let h = histogram(&m, 10, 30, false);
+        assert_eq!(h[0].count, 0);
+        assert_eq!(h[1].count, 1);
+    }
+
+    #[test]
+    fn ragged_final_bin_clipped_to_max() {
+        let m = manifest(&[34]);
+        let h = histogram(&m, 10, 35, false);
+        assert_eq!(h.last().unwrap().hi, 35);
+        assert_eq!(h.last().unwrap().count, 1);
+    }
+}

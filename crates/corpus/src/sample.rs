@@ -1,0 +1,115 @@
+//! Random sampling from a corpus — the paper's model-refit step draws
+//! "random samples (without replacement)" of a target volume (§5.1: 10×2 GB
+//! for grep; §5.2: 3×5 MB for POS).
+
+use crate::manifest::Manifest;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Draw `count` files uniformly without replacement. Panics if the manifest
+/// holds fewer than `count` files.
+pub fn sample_files(m: &Manifest, count: usize, seed: u64) -> Manifest {
+    assert!(
+        count <= m.len(),
+        "cannot sample {count} files from a manifest of {}",
+        m.len()
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut files = m.files.clone();
+    files.shuffle(&mut rng);
+    files.truncate(count);
+    Manifest::new(format!("{}[sample n={count}]", m.name), files, m.seed)
+}
+
+/// Draw disjoint random samples, each of (at least) `volume` bytes, without
+/// replacement across samples. Returns fewer than `k` samples if the corpus
+/// runs out of bytes.
+pub fn sample_by_volume(m: &Manifest, volume: u64, k: usize, seed: u64) -> Vec<Manifest> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut pool = m.files.clone();
+    pool.shuffle(&mut rng);
+    let mut out = Vec::with_capacity(k);
+    let mut iter = pool.into_iter();
+    for s in 0..k {
+        let mut files = Vec::new();
+        let mut acc = 0u64;
+        for f in iter.by_ref() {
+            acc += f.size;
+            files.push(f);
+            if acc >= volume {
+                break;
+            }
+        }
+        if acc < volume {
+            // Pool exhausted before filling this sample; discard partial.
+            break;
+        }
+        out.push(Manifest::new(
+            format!("{}[sample {s} ≈{volume}B]", m.name),
+            files,
+            m.seed,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manifest::FileSpec;
+    use std::collections::HashSet;
+
+    fn manifest(n: u64, size: u64) -> Manifest {
+        let files = (0..n).map(|i| FileSpec::new(i, size)).collect();
+        Manifest::new("t", files, 0)
+    }
+
+    #[test]
+    fn sample_files_without_replacement() {
+        let m = manifest(100, 10);
+        let s = sample_files(&m, 30, 1);
+        assert_eq!(s.len(), 30);
+        let ids: HashSet<u64> = s.files.iter().map(|f| f.id).collect();
+        assert_eq!(ids.len(), 30);
+    }
+
+    #[test]
+    fn samples_disjoint_across_draws() {
+        let m = manifest(100, 10);
+        let samples = sample_by_volume(&m, 100, 3, 2);
+        assert_eq!(samples.len(), 3);
+        let mut seen = HashSet::new();
+        for s in &samples {
+            assert!(s.total_volume() >= 100);
+            for f in &s.files {
+                assert!(seen.insert(f.id), "file {} drawn twice", f.id);
+            }
+        }
+    }
+
+    #[test]
+    fn exhausted_pool_returns_fewer_samples() {
+        let m = manifest(5, 10); // 50 bytes total
+        let samples = sample_by_volume(&m, 30, 3, 3);
+        assert!(samples.len() < 3);
+        for s in &samples {
+            assert!(s.total_volume() >= 30);
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let m = manifest(50, 10);
+        let a = sample_files(&m, 10, 9);
+        let b = sample_files(&m, 10, 9);
+        assert_eq!(a.files, b.files);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot sample")]
+    fn oversampling_panics() {
+        let m = manifest(3, 10);
+        sample_files(&m, 4, 0);
+    }
+}

@@ -1,0 +1,753 @@
+//! The cloud facade: launch instances, manage volumes, run application
+//! jobs, collect bills — all against a deterministic simulated clock.
+
+use crate::billing::BillingLedger;
+use crate::error::CloudError;
+use crate::instance::{Instance, InstanceId, InstanceQuality, InstanceState};
+use crate::noise::NoiseModel;
+use crate::storage::{EbsVolume, ObjectStore, VolumeId};
+use crate::types::{AvailabilityZone, InstanceType};
+use corpus::FileSpec;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use textapps::{AppCostModel, ExecEnv};
+
+/// Tunable characteristics of the simulated cloud.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CloudConfig {
+    /// Master seed: fleet qualities, placements and noise all derive from
+    /// it.
+    pub seed: u64,
+    /// Mean instance boot latency, seconds (§3.1 budgets ≈3 minutes).
+    pub startup_mean_s: f64,
+    /// Boot latency jitter (uniform ±).
+    pub startup_jitter_s: f64,
+    /// Fraction of consistently slow instances.
+    pub slow_fraction: f64,
+    /// Fraction of inconsistent instances.
+    pub inconsistent_fraction: f64,
+    /// EBS placement segment width in bytes.
+    pub segment_bytes: u64,
+    /// Fraction of slow EBS segments.
+    pub slow_segment_fraction: f64,
+    /// Multiplier range for slow segments (the paper verified up to ×3
+    /// degradation, i.e. multipliers down to ≈0.33).
+    pub slow_segment_multiplier: (f64, f64),
+    /// EBS volume attach/detach latency, seconds.
+    pub attach_overhead_s: f64,
+    /// Measurement noise model.
+    pub noise: NoiseModel,
+    /// Account cap on concurrently existing (non-terminated) instances.
+    pub instance_cap: usize,
+    /// When true, every instance is identical (cpu 1.0, 75 MB/s, no
+    /// jitter) — the heterogeneity-off ablation and the `ideal` baseline.
+    pub homogeneous: bool,
+}
+
+impl Default for CloudConfig {
+    fn default() -> Self {
+        CloudConfig {
+            seed: 0,
+            startup_mean_s: 180.0,
+            startup_jitter_s: 40.0,
+            slow_fraction: 0.12,
+            inconsistent_fraction: 0.08,
+            segment_bytes: 1_000_000_000,
+            slow_segment_fraction: 0.10,
+            slow_segment_multiplier: (0.33, 0.60),
+            attach_overhead_s: 3.0,
+            noise: NoiseModel::default(),
+            instance_cap: 128,
+            homogeneous: false,
+        }
+    }
+}
+
+impl CloudConfig {
+    /// A perfectly homogeneous, noise-free cloud — the ablation baseline
+    /// (every instance good, every segment clean, boots instantaneous).
+    pub fn ideal(seed: u64) -> Self {
+        CloudConfig {
+            seed,
+            startup_mean_s: 0.0,
+            startup_jitter_s: 0.0,
+            slow_fraction: 0.0,
+            inconsistent_fraction: 0.0,
+            slow_segment_fraction: 0.0,
+            attach_overhead_s: 0.0,
+            noise: NoiseModel {
+                base_rel: 0.0,
+                short_rel: 0.0,
+            },
+            homogeneous: true,
+            ..CloudConfig::default()
+        }
+    }
+}
+
+/// Where a job's input data lives.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum DataLocation {
+    /// On an EBS volume, reading an extent starting at `offset` bytes.
+    Ebs {
+        /// The volume (must be attached to the executing instance).
+        volume: VolumeId,
+        /// Placement offset of the data within the volume.
+        offset: u64,
+    },
+    /// On the instance's ephemeral store.
+    Local,
+    /// In the object store.
+    S3,
+}
+
+/// The outcome of one application run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Executing instance.
+    pub instance: InstanceId,
+    /// Model-truth runtime before noise, seconds.
+    pub true_secs: f64,
+    /// Observed (billed, clock-advancing) runtime, seconds.
+    pub observed_secs: f64,
+    /// Simulation time the run started.
+    pub started_at: f64,
+    /// Simulation time the run finished.
+    pub finished_at: f64,
+    /// Bytes processed.
+    pub bytes: u64,
+    /// Files processed.
+    pub files: usize,
+}
+
+/// The simulated cloud.
+#[derive(Debug)]
+pub struct Cloud {
+    config: CloudConfig,
+    now: f64,
+    instances: Vec<Instance>,
+    volumes: Vec<EbsVolume>,
+    /// S3-like object store (shared, region-wide).
+    pub s3: ObjectStore,
+    ledger: BillingLedger,
+    rng: StdRng,
+    busy: std::collections::HashMap<InstanceId, f64>,
+}
+
+impl Cloud {
+    /// Bring up a fresh cloud.
+    pub fn new(config: CloudConfig) -> Self {
+        Cloud {
+            rng: StdRng::seed_from_u64(config.seed ^ 0xC10D),
+            config,
+            now: 0.0,
+            instances: Vec::new(),
+            volumes: Vec::new(),
+            s3: ObjectStore::new(),
+            ledger: BillingLedger::new(),
+            busy: std::collections::HashMap::new(),
+        }
+    }
+
+    /// Current simulation time in seconds.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &CloudConfig {
+        &self.config
+    }
+
+    /// Advance the clock by `dt` seconds.
+    pub fn advance(&mut self, dt: f64) {
+        assert!(dt >= 0.0, "time cannot move backwards");
+        self.now += dt;
+    }
+
+    fn instance(&self, id: InstanceId) -> Result<&Instance, CloudError> {
+        self.instances
+            .get(id.0 as usize)
+            .ok_or(CloudError::NoSuchInstance(id))
+    }
+
+    fn instance_mut(&mut self, id: InstanceId) -> Result<&mut Instance, CloudError> {
+        self.instances
+            .get_mut(id.0 as usize)
+            .ok_or(CloudError::NoSuchInstance(id))
+    }
+
+    fn volume(&self, id: VolumeId) -> Result<&EbsVolume, CloudError> {
+        self.volumes
+            .get(id.0 as usize)
+            .ok_or(CloudError::NoSuchVolume(id))
+    }
+
+    /// Request an instance. It enters `Pending` and comes up after the
+    /// boot latency; boot time is free.
+    pub fn launch(
+        &mut self,
+        itype: InstanceType,
+        zone: AvailabilityZone,
+    ) -> Result<InstanceId, CloudError> {
+        let live = self
+            .instances
+            .iter()
+            .filter(|i| i.state_at(self.now) != InstanceState::TerminatedState)
+            .count();
+        if live >= self.config.instance_cap {
+            return Err(CloudError::InstanceCapReached(self.config.instance_cap));
+        }
+        let id = InstanceId(self.instances.len() as u64);
+        let jitter = self
+            .rng
+            .random_range(-self.config.startup_jitter_s..=self.config.startup_jitter_s);
+        let boot = (self.config.startup_mean_s + jitter).max(0.0);
+        let quality = if self.config.homogeneous {
+            InstanceQuality {
+                cpu_factor: 1.0,
+                io_bps: 75.0e6,
+                jitter_rel: 0.0,
+            }
+        } else {
+            InstanceQuality::sample(
+                &mut self.rng,
+                self.config.slow_fraction,
+                self.config.inconsistent_fraction,
+            )
+        };
+        self.instances.push(Instance {
+            id,
+            itype,
+            zone,
+            state: InstanceState::Pending,
+            requested_at: self.now,
+            running_at: self.now + boot,
+            terminated_at: None,
+            quality,
+        });
+        Ok(id)
+    }
+
+    /// Block (advance the clock) until the instance is running.
+    pub fn wait_until_running(&mut self, id: InstanceId) -> Result<(), CloudError> {
+        let inst = self.instance(id)?;
+        if inst.terminated_at.is_some() {
+            return Err(CloudError::Terminated(id));
+        }
+        let at = inst.running_at;
+        if self.now < at {
+            self.now = at;
+        }
+        Ok(())
+    }
+
+    /// State of an instance as of now.
+    pub fn state(&self, id: InstanceId) -> Result<InstanceState, CloudError> {
+        Ok(self.instance(id)?.state_at(self.now))
+    }
+
+    /// Hidden quality — exposed for tests and ablations only; planner code
+    /// must not peek (the paper's whole point is that quality is opaque).
+    pub fn quality(&self, id: InstanceId) -> Result<InstanceQuality, CloudError> {
+        Ok(self.instance(id)?.quality)
+    }
+
+    /// Terminate an instance. Bills its running time; an instance that
+    /// never reached `Running` is free.
+    pub fn terminate(&mut self, id: InstanceId) -> Result<(), CloudError> {
+        let now = self.now;
+        // Detach any volumes it holds.
+        for v in &mut self.volumes {
+            if v.attached_to == Some(id) {
+                v.attached_to = None;
+            }
+        }
+        let inst = self.instance_mut(id)?;
+        if inst.terminated_at.is_some() {
+            return Err(CloudError::Terminated(id));
+        }
+        inst.terminated_at = Some(now);
+        let inst = self.instances[id.0 as usize].clone();
+        self.ledger.record(&inst, now);
+        Ok(())
+    }
+
+    /// Create an EBS volume in `zone`.
+    pub fn create_volume(&mut self, zone: AvailabilityZone, size: u64) -> VolumeId {
+        let id = VolumeId(self.volumes.len() as u64);
+        let (lo, hi) = self.config.slow_segment_multiplier;
+        self.volumes.push(EbsVolume::new(
+            id,
+            zone,
+            size,
+            self.config.segment_bytes,
+            self.config.slow_segment_fraction,
+            lo,
+            hi,
+            self.config.seed,
+        ));
+        id
+    }
+
+    /// Create an EBS volume with an explicit slow-segment fraction,
+    /// overriding the config — controlled-placement experiments (a volume
+    /// known to be well-placed, or known to be pathological) need this.
+    pub fn create_volume_custom(
+        &mut self,
+        zone: AvailabilityZone,
+        size: u64,
+        slow_segment_fraction: f64,
+    ) -> VolumeId {
+        let id = VolumeId(self.volumes.len() as u64);
+        let (lo, hi) = self.config.slow_segment_multiplier;
+        self.volumes.push(EbsVolume::new(
+            id,
+            zone,
+            size,
+            self.config.segment_bytes,
+            slow_segment_fraction,
+            lo,
+            hi,
+            self.config.seed,
+        ));
+        id
+    }
+
+    /// Attach a volume to a running instance (same zone, not attached
+    /// elsewhere). Costs `attach_overhead_s` of wall clock.
+    pub fn attach_volume(&mut self, vol: VolumeId, inst: InstanceId) -> Result<(), CloudError> {
+        let instance = self.instance(inst)?;
+        if instance.state_at(self.now) != InstanceState::Running {
+            return Err(CloudError::NotRunning(inst));
+        }
+        let zone = instance.zone;
+        let overhead = self.config.attach_overhead_s;
+        let v = self
+            .volumes
+            .get_mut(vol.0 as usize)
+            .ok_or(CloudError::NoSuchVolume(vol))?;
+        if let Some(holder) = v.attached_to {
+            if holder != inst {
+                return Err(CloudError::VolumeBusy(vol, holder));
+            }
+            return Ok(()); // idempotent re-attach
+        }
+        if v.zone != zone {
+            return Err(CloudError::ZoneMismatch);
+        }
+        v.attached_to = Some(inst);
+        self.now += overhead;
+        Ok(())
+    }
+
+    /// Attach a volume on the **instance's own timeline** (companion to
+    /// [`Cloud::submit_job`]): validates the attachment as of time `at`
+    /// without touching the global clock. The caller accounts the attach
+    /// overhead into the job's `not_before`.
+    pub fn attach_volume_at(
+        &mut self,
+        vol: VolumeId,
+        inst: InstanceId,
+        at: f64,
+    ) -> Result<(), CloudError> {
+        let instance = self.instance(inst)?;
+        if instance.state_at(at) != InstanceState::Running {
+            return Err(CloudError::NotRunning(inst));
+        }
+        let zone = instance.zone;
+        let v = self
+            .volumes
+            .get_mut(vol.0 as usize)
+            .ok_or(CloudError::NoSuchVolume(vol))?;
+        if let Some(holder) = v.attached_to {
+            if holder != inst {
+                return Err(CloudError::VolumeBusy(vol, holder));
+            }
+            return Ok(());
+        }
+        if v.zone != zone {
+            return Err(CloudError::ZoneMismatch);
+        }
+        v.attached_to = Some(inst);
+        Ok(())
+    }
+
+    /// Detach a volume from whatever holds it, without advancing the
+    /// global clock (timeline-style companion to
+    /// [`Cloud::detach_volume`]).
+    pub fn detach_volume_at(&mut self, vol: VolumeId) -> Result<(), CloudError> {
+        let v = self
+            .volumes
+            .get_mut(vol.0 as usize)
+            .ok_or(CloudError::NoSuchVolume(vol))?;
+        if v.attached_to.is_none() {
+            return Err(CloudError::VolumeNotAttached(vol));
+        }
+        v.attached_to = None;
+        Ok(())
+    }
+
+    /// Detach a volume from whatever holds it.
+    pub fn detach_volume(&mut self, vol: VolumeId) -> Result<(), CloudError> {
+        let overhead = self.config.attach_overhead_s;
+        let v = self
+            .volumes
+            .get_mut(vol.0 as usize)
+            .ok_or(CloudError::NoSuchVolume(vol))?;
+        if v.attached_to.is_none() {
+            return Err(CloudError::VolumeNotAttached(vol));
+        }
+        v.attached_to = None;
+        self.now += overhead;
+        Ok(())
+    }
+
+    /// The simulation time at which an instance finishes booting.
+    pub fn running_at(&self, id: InstanceId) -> Result<f64, CloudError> {
+        Ok(self.instance(id)?.running_at)
+    }
+
+    /// The time until which an instance is occupied by submitted jobs
+    /// (its boot time if it has none).
+    pub fn busy_until(&self, id: InstanceId) -> Result<f64, CloudError> {
+        let inst = self.instance(id)?;
+        Ok(self.busy.get(&id).copied().unwrap_or(inst.running_at))
+    }
+
+    /// Schedule a job on the **instance's own timeline** — the parallel-
+    /// fleet primitive. The job starts at
+    /// `max(not_before, boot time, previous jobs' end)`, runs for its
+    /// observed duration, and pushes the instance's busy horizon; the
+    /// global clock is untouched, so independent instances overlap in
+    /// time like a real fleet.
+    pub fn submit_job(
+        &mut self,
+        inst: InstanceId,
+        model: &dyn AppCostModel,
+        files: &[FileSpec],
+        data: DataLocation,
+        not_before: f64,
+    ) -> Result<RunReport, CloudError> {
+        let instance = self.instance(inst)?;
+        if instance.terminated_at.is_some() {
+            return Err(CloudError::Terminated(inst));
+        }
+        let start = not_before.max(instance.running_at).max(
+            self.busy
+                .get(&inst)
+                .copied()
+                .unwrap_or(instance.running_at),
+        );
+        let bytes: u64 = files.iter().map(|f| f.size).sum();
+        let jitter = instance.quality.jitter_rel;
+        let env = self.exec_env(inst, &data, bytes)?;
+        let true_secs = model.runtime_secs(files, &env);
+        let observed = self.config.noise.observe(&mut self.rng, true_secs, jitter);
+        let end = start + observed;
+        self.busy.insert(inst, end);
+        Ok(RunReport {
+            instance: inst,
+            true_secs,
+            observed_secs: observed,
+            started_at: start,
+            finished_at: end,
+            bytes,
+            files: files.len(),
+        })
+    }
+
+    /// Terminate an instance at a specific time on its own timeline
+    /// (companion to [`Cloud::submit_job`]); bills its running interval.
+    pub fn terminate_at(&mut self, id: InstanceId, at: f64) -> Result<(), CloudError> {
+        for v in &mut self.volumes {
+            if v.attached_to == Some(id) {
+                v.attached_to = None;
+            }
+        }
+        let inst = self.instance_mut(id)?;
+        if inst.terminated_at.is_some() {
+            return Err(CloudError::Terminated(id));
+        }
+        inst.terminated_at = Some(at);
+        let snapshot = self.instances[id.0 as usize].clone();
+        self.ledger.record(&snapshot, at);
+        Ok(())
+    }
+
+    /// The execution environment a run would see — quality × placement ×
+    /// storage tier.
+    pub fn exec_env(
+        &self,
+        inst: InstanceId,
+        data: &DataLocation,
+        bytes: u64,
+    ) -> Result<ExecEnv, CloudError> {
+        let instance = self.instance(inst)?;
+        let q = instance.quality;
+        let env = match data {
+            DataLocation::Ebs { volume, offset } => {
+                let v = self.volume(*volume)?;
+                if v.attached_to != Some(inst) {
+                    return Err(CloudError::VolumeNotAttached(*volume));
+                }
+                let mult = v.throughput_multiplier(*offset, bytes);
+                ExecEnv {
+                    io_throughput_bps: q.io_bps * mult,
+                    per_file_overhead_s: 4.5e-3,
+                    cpu_factor: q.cpu_factor,
+                    startup_s: 1.0,
+                }
+            }
+            DataLocation::Local => ExecEnv {
+                io_throughput_bps: q.io_bps * 1.1,
+                per_file_overhead_s: 2.0e-3,
+                cpu_factor: q.cpu_factor,
+                startup_s: 1.0,
+            },
+            DataLocation::S3 => ExecEnv {
+                io_throughput_bps: q.io_bps * 0.7,
+                per_file_overhead_s: 30.0e-3,
+                cpu_factor: q.cpu_factor,
+                startup_s: 1.0,
+            },
+        };
+        Ok(env)
+    }
+
+    /// Run an application over `files` on `inst`, with input at `data`.
+    /// Advances the clock by the observed runtime and refreshes the bill.
+    pub fn run_app(
+        &mut self,
+        inst: InstanceId,
+        model: &dyn AppCostModel,
+        files: &[FileSpec],
+        data: DataLocation,
+    ) -> Result<RunReport, CloudError> {
+        let instance = self.instance(inst)?;
+        if instance.state_at(self.now) != InstanceState::Running {
+            return Err(CloudError::NotRunning(inst));
+        }
+        let bytes: u64 = files.iter().map(|f| f.size).sum();
+        let jitter = instance.quality.jitter_rel;
+        let env = self.exec_env(inst, &data, bytes)?;
+        let true_secs = model.runtime_secs(files, &env);
+        let observed = self.config.noise.observe(&mut self.rng, true_secs, jitter);
+        let started_at = self.now;
+        self.now += observed;
+        let snapshot = self.instances[inst.0 as usize].clone();
+        self.ledger.record(&snapshot, self.now);
+        Ok(RunReport {
+            instance: inst,
+            true_secs,
+            observed_secs: observed,
+            started_at,
+            finished_at: self.now,
+            bytes,
+            files: files.len(),
+        })
+    }
+
+    /// The account ledger.
+    pub fn ledger(&self) -> &BillingLedger {
+        &self.ledger
+    }
+
+    /// Refresh bills of all non-terminated instances to `now` and return
+    /// the total cost.
+    pub fn settle(&mut self) -> f64 {
+        let now = self.now;
+        let snapshots: Vec<Instance> = self.instances.to_vec();
+        for inst in &snapshots {
+            if inst.running_seconds(now) > 0.0 {
+                self.ledger.record(inst, now);
+            }
+        }
+        self.ledger.total_cost()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use textapps::GrepCostModel;
+
+    fn zone() -> AvailabilityZone {
+        AvailabilityZone::us_east_1a()
+    }
+
+    fn running_instance(cloud: &mut Cloud) -> InstanceId {
+        let id = cloud.launch(InstanceType::Small, zone()).unwrap();
+        cloud.wait_until_running(id).unwrap();
+        id
+    }
+
+    #[test]
+    fn boot_latency_applies() {
+        let mut cloud = Cloud::new(CloudConfig::default());
+        let id = cloud.launch(InstanceType::Small, zone()).unwrap();
+        assert_eq!(cloud.state(id).unwrap(), InstanceState::Pending);
+        cloud.wait_until_running(id).unwrap();
+        assert_eq!(cloud.state(id).unwrap(), InstanceState::Running);
+        assert!(cloud.now() >= 140.0 && cloud.now() <= 220.0, "{}", cloud.now());
+    }
+
+    #[test]
+    fn run_requires_running_instance() {
+        let mut cloud = Cloud::new(CloudConfig::default());
+        let id = cloud.launch(InstanceType::Small, zone()).unwrap();
+        let files = [FileSpec::new(0, 1000)];
+        let err = cloud
+            .run_app(id, &GrepCostModel::default(), &files, DataLocation::Local)
+            .unwrap_err();
+        assert!(matches!(err, CloudError::NotRunning(_)));
+    }
+
+    #[test]
+    fn run_advances_clock_and_bills() {
+        let mut cloud = Cloud::new(CloudConfig::ideal(1));
+        let id = running_instance(&mut cloud);
+        let files: Vec<FileSpec> = vec![FileSpec::new(0, 1_000_000_000)];
+        let before = cloud.now();
+        let report = cloud
+            .run_app(id, &GrepCostModel::default(), &files, DataLocation::Local)
+            .unwrap();
+        assert!(report.observed_secs > 5.0);
+        assert!((cloud.now() - before - report.observed_secs).abs() < 1e-9);
+        cloud.terminate(id).unwrap();
+        assert_eq!(cloud.ledger().total_instance_hours(), 1);
+    }
+
+    #[test]
+    fn ideal_cloud_observation_is_truth() {
+        let mut cloud = Cloud::new(CloudConfig::ideal(2));
+        let id = running_instance(&mut cloud);
+        let files = [FileSpec::new(0, 500_000_000)];
+        let r = cloud
+            .run_app(id, &GrepCostModel::default(), &files, DataLocation::Local)
+            .unwrap();
+        assert!((r.true_secs - r.observed_secs).abs() < 1e-9);
+    }
+
+    #[test]
+    fn volume_attach_rules_enforced() {
+        let mut cloud = Cloud::new(CloudConfig::default());
+        let a = running_instance(&mut cloud);
+        let b = running_instance(&mut cloud);
+        let v = cloud.create_volume(zone(), 10_000_000_000);
+        cloud.attach_volume(v, a).unwrap();
+        // Second attachment by another instance fails.
+        let err = cloud.attach_volume(v, b).unwrap_err();
+        assert!(matches!(err, CloudError::VolumeBusy(_, holder) if holder == a));
+        // Re-attach by the holder is idempotent.
+        cloud.attach_volume(v, a).unwrap();
+        cloud.detach_volume(v).unwrap();
+        cloud.attach_volume(v, b).unwrap();
+    }
+
+    #[test]
+    fn zone_mismatch_rejected() {
+        let mut cloud = Cloud::new(CloudConfig::default());
+        let id = running_instance(&mut cloud);
+        let other_zone = AvailabilityZone {
+            region: Region::UsEast,
+            index: 1,
+        };
+        let v = cloud.create_volume(other_zone, 1_000_000_000);
+        assert!(matches!(
+            cloud.attach_volume(v, id),
+            Err(CloudError::ZoneMismatch)
+        ));
+    }
+
+    use crate::types::Region;
+
+    #[test]
+    fn ebs_read_requires_attachment() {
+        let mut cloud = Cloud::new(CloudConfig::default());
+        let id = running_instance(&mut cloud);
+        let v = cloud.create_volume(zone(), 1_000_000_000);
+        let files = [FileSpec::new(0, 1_000)];
+        let err = cloud
+            .run_app(
+                id,
+                &GrepCostModel::default(),
+                &files,
+                DataLocation::Ebs {
+                    volume: v,
+                    offset: 0,
+                },
+            )
+            .unwrap_err();
+        assert!(matches!(err, CloudError::VolumeNotAttached(_)));
+    }
+
+    #[test]
+    fn instance_cap_enforced() {
+        let config = CloudConfig {
+            instance_cap: 2,
+            ..CloudConfig::default()
+        };
+        let mut cloud = Cloud::new(config);
+        cloud.launch(InstanceType::Small, zone()).unwrap();
+        cloud.launch(InstanceType::Small, zone()).unwrap();
+        assert!(matches!(
+            cloud.launch(InstanceType::Small, zone()),
+            Err(CloudError::InstanceCapReached(2))
+        ));
+    }
+
+    #[test]
+    fn terminating_frees_cap_and_volumes() {
+        let config = CloudConfig {
+            instance_cap: 1,
+            ..CloudConfig::default()
+        };
+        let mut cloud = Cloud::new(config);
+        let a = running_instance(&mut cloud);
+        let v = cloud.create_volume(zone(), 1_000_000_000);
+        cloud.attach_volume(v, a).unwrap();
+        cloud.terminate(a).unwrap();
+        // Cap freed and the volume detached.
+        let b = cloud.launch(InstanceType::Small, zone()).unwrap();
+        cloud.wait_until_running(b).unwrap();
+        cloud.attach_volume(v, b).unwrap();
+    }
+
+    #[test]
+    fn double_terminate_is_an_error() {
+        let mut cloud = Cloud::new(CloudConfig::default());
+        let a = running_instance(&mut cloud);
+        cloud.terminate(a).unwrap();
+        assert!(matches!(cloud.terminate(a), Err(CloudError::Terminated(_))));
+    }
+
+    #[test]
+    fn settle_totals_running_instances() {
+        let mut cloud = Cloud::new(CloudConfig::ideal(3));
+        let _a = running_instance(&mut cloud);
+        let _b = running_instance(&mut cloud);
+        cloud.advance(4_000.0); // both into their second hour
+        let total = cloud.settle();
+        assert!((total - 2.0 * 2.0 * 0.085).abs() < 1e-9, "total {total}");
+    }
+
+    #[test]
+    fn determinism_same_seed_same_history() {
+        let run = |seed: u64| {
+            let mut cloud = Cloud::new(CloudConfig {
+                seed,
+                ..CloudConfig::default()
+            });
+            let id = running_instance(&mut cloud);
+            let files: Vec<FileSpec> = (0..50).map(|i| FileSpec::new(i, 2_000_000)).collect();
+            let r = cloud
+                .run_app(id, &GrepCostModel::default(), &files, DataLocation::Local)
+                .unwrap();
+            (r.true_secs, r.observed_secs)
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+}

@@ -1,0 +1,62 @@
+//! Simulator error type.
+
+use crate::instance::InstanceId;
+use crate::storage::VolumeId;
+
+/// Everything that can go wrong when driving the simulated cloud.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CloudError {
+    /// The instance id does not exist.
+    NoSuchInstance(InstanceId),
+    /// The volume id does not exist.
+    NoSuchVolume(VolumeId),
+    /// Operation requires a running instance.
+    NotRunning(InstanceId),
+    /// Instance was already terminated.
+    Terminated(InstanceId),
+    /// Volume is attached to another instance (EBS volumes attach to at
+    /// most one instance at a time, §1.1).
+    VolumeBusy(VolumeId, InstanceId),
+    /// Volume is not attached to the given instance.
+    VolumeNotAttached(VolumeId),
+    /// Volume and instance live in different availability zones.
+    ZoneMismatch,
+    /// S3 object exceeds the 5 GB per-object cap (§1.1).
+    ObjectTooLarge {
+        /// Requested object size.
+        size: u64,
+        /// The cap (5 GB).
+        max: u64,
+    },
+    /// No such S3 object.
+    NoSuchObject(String),
+    /// The account's instance cap was reached (EC2 limits concurrent
+    /// instances per account; the paper notes "limitations on the number
+    /// of instances that can be requested", §5.2).
+    InstanceCapReached(usize),
+}
+
+impl std::fmt::Display for CloudError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CloudError::NoSuchInstance(id) => write!(f, "no such instance {id:?}"),
+            CloudError::NoSuchVolume(id) => write!(f, "no such volume {id:?}"),
+            CloudError::NotRunning(id) => write!(f, "instance {id:?} is not running"),
+            CloudError::Terminated(id) => write!(f, "instance {id:?} was terminated"),
+            CloudError::VolumeBusy(v, i) => {
+                write!(f, "volume {v:?} already attached to {i:?}")
+            }
+            CloudError::VolumeNotAttached(v) => write!(f, "volume {v:?} is not attached"),
+            CloudError::ZoneMismatch => write!(f, "volume and instance in different zones"),
+            CloudError::ObjectTooLarge { size, max } => {
+                write!(f, "object of {size} bytes exceeds the {max} byte cap")
+            }
+            CloudError::NoSuchObject(k) => write!(f, "no such object {k}"),
+            CloudError::InstanceCapReached(n) => {
+                write!(f, "account instance cap of {n} reached")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CloudError {}

@@ -1,0 +1,95 @@
+//! Measurement noise.
+//!
+//! The paper's 1 MB grep probe (Fig 3) produced means "very small and the
+//! standard deviation ... large", traced to "the domination of unstable
+//! setup overheads" on very short runs. We model a run's observed time as
+//! the true time multiplied by a lognormal factor whose relative standard
+//! deviation shrinks with run length:
+//!
+//! `σ_rel(t) = base + short / sqrt(max(t, ε))`
+//!
+//! so a 0.1 s run sees tens of percent of noise while a 1000 s run sees
+//! about `base`.
+
+use corpus::Normal;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Run-length-dependent multiplicative noise.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NoiseModel {
+    /// Relative standard deviation floor for long runs.
+    pub base_rel: f64,
+    /// Short-run term: relative sd contribution at a 1-second run.
+    pub short_rel: f64,
+}
+
+impl Default for NoiseModel {
+    fn default() -> Self {
+        NoiseModel {
+            base_rel: 0.03,
+            short_rel: 0.10,
+        }
+    }
+}
+
+impl NoiseModel {
+    /// Relative standard deviation for a run of `true_secs`.
+    pub fn sigma_rel(&self, true_secs: f64) -> f64 {
+        self.base_rel + self.short_rel / true_secs.max(1e-3).sqrt()
+    }
+
+    /// Observed runtime: truth × lognormal(1, σ_rel) × instance jitter.
+    pub fn observe(&self, rng: &mut impl Rng, true_secs: f64, instance_jitter_rel: f64) -> f64 {
+        let sigma = (self.sigma_rel(true_secs).powi(2) + instance_jitter_rel.powi(2)).sqrt();
+        // Lognormal with unit mean: exp(N(-σ²/2, σ²)).
+        let n = Normal::new(-sigma * sigma / 2.0, sigma).sample_f64(rng);
+        true_secs * n.exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn short_runs_noisier_than_long_runs() {
+        let m = NoiseModel::default();
+        assert!(m.sigma_rel(0.01) > 5.0 * m.sigma_rel(100.0));
+    }
+
+    #[test]
+    fn observation_unbiased_and_scaled() {
+        let m = NoiseModel::default();
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 5_000;
+        let xs: Vec<f64> = (0..n).map(|_| m.observe(&mut rng, 100.0, 0.02)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        assert!((mean - 100.0).abs() < 1.0, "mean {mean}");
+        let sd = (xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64).sqrt();
+        let rel = sd / mean;
+        assert!((0.01..0.05).contains(&rel), "relative sd {rel}");
+    }
+
+    #[test]
+    fn cv_large_for_tiny_probes() {
+        // Reproduces the Fig 3 situation: ~0.05 s true runtime (1 MB at
+        // ~20 MB/s) has a coefficient of variation large enough to discard.
+        let m = NoiseModel::default();
+        let mut rng = StdRng::seed_from_u64(4);
+        let xs: Vec<f64> = (0..5).map(|_| m.observe(&mut rng, 0.05, 0.02)).collect();
+        let mean = xs.iter().sum::<f64>() / 5.0;
+        let sd = (xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / 4.0).sqrt();
+        assert!(sd / mean > 0.1, "cv {}", sd / mean);
+    }
+
+    #[test]
+    fn jitter_adds_in_quadrature() {
+        let m = NoiseModel::default();
+        let calm = m.sigma_rel(100.0);
+        let sigma_with_jitter = (calm * calm + 0.3f64.powi(2)).sqrt();
+        assert!(sigma_with_jitter > 0.3 && sigma_with_jitter < 0.35);
+    }
+}

@@ -1,0 +1,206 @@
+//! Spot-market extension (§1.1 and §7 future work).
+//!
+//! The paper uses on-demand instances because spot instances require clean
+//! resumption; it flags spot as the cost-optimal choice when deadlines are
+//! soft. This module implements that trade-off so the benches can quantify
+//! it: a mean-reverting spot price series, and bid-driven execution where
+//! the workload only progresses while the market price is at or below the
+//! user's bid.
+
+use corpus::Normal;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// A simulated spot price series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpotMarket {
+    /// Price per step, dollars/hour.
+    prices: Vec<f64>,
+    /// Step width in seconds.
+    pub step_secs: f64,
+}
+
+impl SpotMarket {
+    /// Generate `steps` price points with an Ornstein–Uhlenbeck-style
+    /// mean-reverting walk around `mean` (dollars/hour).
+    pub fn generate(seed: u64, steps: usize, mean: f64, volatility: f64, step_secs: f64) -> Self {
+        assert!(steps > 0, "need at least one price step");
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5307);
+        let noise = Normal::new(0.0, volatility);
+        let theta = 0.15; // reversion strength per step
+        let mut prices = Vec::with_capacity(steps);
+        let mut p = mean;
+        for _ in 0..steps {
+            p += theta * (mean - p) + noise.sample_f64(&mut rng);
+            p = p.max(mean * 0.2);
+            prices.push(p);
+        }
+        SpotMarket { prices, step_secs }
+    }
+
+    /// Price at simulation time `t` (clamped to the series end).
+    pub fn price_at(&self, t: f64) -> f64 {
+        let idx = ((t / self.step_secs) as usize).min(self.prices.len() - 1);
+        self.prices[idx]
+    }
+
+    /// The full series.
+    pub fn prices(&self) -> &[f64] {
+        &self.prices
+    }
+}
+
+/// A bid-based execution request.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpotRequest {
+    /// Maximum price the user will pay, dollars/hour.
+    pub bid: f64,
+    /// Total compute the workload needs, seconds.
+    pub work_secs: f64,
+    /// Restart penalty after each interruption (the paper: apps must
+    /// "resume cleanly"; resuming still costs setup time), seconds.
+    pub resume_penalty_secs: f64,
+}
+
+/// How a spot execution went.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpotOutcome {
+    /// Wall-clock completion time, seconds (None: ran out of series).
+    pub completed_at: Option<f64>,
+    /// Dollars paid (market price per active step, prorated).
+    pub cost: f64,
+    /// Number of interruptions suffered.
+    pub interruptions: usize,
+    /// Seconds of useful work done.
+    pub work_done: f64,
+}
+
+impl SpotMarket {
+    /// Execute `req` from time 0: work progresses only in steps where
+    /// `price ≤ bid`; each transition from ineligible to eligible costs
+    /// the resume penalty.
+    pub fn execute(&self, req: &SpotRequest) -> SpotOutcome {
+        let mut work_left = req.work_secs;
+        let mut cost = 0.0;
+        let mut interruptions = 0usize;
+        let mut active_prev = false;
+        for (i, &price) in self.prices.iter().enumerate() {
+            let t0 = i as f64 * self.step_secs;
+            let eligible = price <= req.bid;
+            if !eligible {
+                if active_prev {
+                    interruptions += 1;
+                }
+                active_prev = false;
+                continue;
+            }
+            let mut budget = self.step_secs;
+            if !active_prev {
+                // (Re)start costs the resume penalty, including the very
+                // first start at i == 0.
+                budget -= req.resume_penalty_secs.min(budget);
+            }
+            active_prev = true;
+            let used = budget.min(work_left);
+            let active_secs = used + (self.step_secs - budget);
+            cost += price * active_secs / 3600.0;
+            work_left -= used;
+            if work_left <= 1e-9 {
+                return SpotOutcome {
+                    completed_at: Some(t0 + (self.step_secs - budget) + used),
+                    cost,
+                    interruptions,
+                    work_done: req.work_secs,
+                };
+            }
+        }
+        SpotOutcome {
+            completed_at: None,
+            cost,
+            interruptions,
+            work_done: req.work_secs - work_left,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn market() -> SpotMarket {
+        SpotMarket::generate(1, 500, 0.04, 0.004, 300.0)
+    }
+
+    #[test]
+    fn prices_stay_positive_and_near_mean() {
+        let m = market();
+        let mean = m.prices().iter().sum::<f64>() / m.prices().len() as f64;
+        assert!((0.02..0.07).contains(&mean), "mean {mean}");
+        assert!(m.prices().iter().all(|&p| p > 0.0));
+    }
+
+    #[test]
+    fn high_bid_completes_without_interruption() {
+        let m = market();
+        let out = m.execute(&SpotRequest {
+            bid: 10.0,
+            work_secs: 3_000.0,
+            resume_penalty_secs: 60.0,
+        });
+        assert!(out.completed_at.is_some());
+        assert_eq!(out.interruptions, 0);
+        assert!(out.cost > 0.0);
+    }
+
+    #[test]
+    fn hopeless_bid_never_progresses() {
+        let m = market();
+        let out = m.execute(&SpotRequest {
+            bid: 0.0001,
+            work_secs: 1_000.0,
+            resume_penalty_secs: 60.0,
+        });
+        assert!(out.completed_at.is_none());
+        assert_eq!(out.work_done, 0.0);
+        assert_eq!(out.cost, 0.0);
+    }
+
+    #[test]
+    fn marginal_bid_suffers_interruptions_but_pays_less_per_hour() {
+        let m = market();
+        let mean = m.prices().iter().sum::<f64>() / m.prices().len() as f64;
+        let cheap = m.execute(&SpotRequest {
+            bid: mean * 0.98,
+            work_secs: 30_000.0,
+            resume_penalty_secs: 60.0,
+        });
+        let rich = m.execute(&SpotRequest {
+            bid: mean * 3.0,
+            work_secs: 30_000.0,
+            resume_penalty_secs: 60.0,
+        });
+        // The cheap bid takes longer (or fails) but its average price per
+        // work-second is lower when it does make progress.
+        if let (Some(t_cheap), Some(t_rich)) = (cheap.completed_at, rich.completed_at) {
+            assert!(t_cheap >= t_rich);
+            assert!(cheap.cost / cheap.work_done <= rich.cost / rich.work_done + 1e-12);
+        } else {
+            assert!(cheap.work_done <= rich.work_done);
+        }
+    }
+
+    #[test]
+    fn price_at_clamps_to_series() {
+        let m = market();
+        let last = *m.prices().last().unwrap();
+        assert_eq!(m.price_at(1.0e9), last);
+    }
+
+    #[test]
+    fn deterministic_series() {
+        let a = SpotMarket::generate(9, 100, 0.05, 0.005, 300.0);
+        let b = SpotMarket::generate(9, 100, 0.05, 0.005, 300.0);
+        assert_eq!(a, b);
+    }
+}

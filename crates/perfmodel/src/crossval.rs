@@ -1,0 +1,181 @@
+//! Cross-validated model selection.
+//!
+//! The paper picks a family by eyeballing the fit quality; [`crate::select_best`]
+//! automates that with R², but R² always favors more flexible families on
+//! the training points. For extrapolation — which is exactly what §5 does
+//! when it predicts 100 GB from ≤10 GB probes — *leave-one-volume-out*
+//! cross-validation is the honest criterion: hold out every distinct
+//! volume in turn, fit on the rest, and score the prediction error on the
+//! held-out volume (weighting the largest volumes most, since that is the
+//! direction we extrapolate in).
+
+use crate::regression::{fit, Fit, ModelKind};
+use serde::{Deserialize, Serialize};
+
+/// One family's cross-validation score.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CvScore {
+    /// The family.
+    pub kind: ModelKind,
+    /// Mean absolute relative error over held-out volumes.
+    pub mean_rel_error: f64,
+    /// Relative error on the largest held-out volume (the extrapolation
+    /// proxy).
+    pub largest_volume_error: f64,
+}
+
+/// Leave-one-volume-out cross-validation of one family. Observations with
+/// the same `x` are held out together (they are repeated runs of the same
+/// probe). Returns `None` when fewer than 3 distinct volumes exist (the
+/// refit would be degenerate).
+pub fn cross_validate(kind: ModelKind, xs: &[f64], ys: &[f64]) -> Option<CvScore> {
+    assert_eq!(xs.len(), ys.len(), "x/y length mismatch");
+    let mut volumes: Vec<f64> = xs.to_vec();
+    volumes.sort_by(|a, b| a.partial_cmp(b).expect("finite volumes"));
+    volumes.dedup();
+    if volumes.len() < 3 {
+        return None;
+    }
+    let mut errors = Vec::with_capacity(volumes.len());
+    for &held in &volumes {
+        let (train_x, train_y): (Vec<f64>, Vec<f64>) = xs
+            .iter()
+            .zip(ys)
+            .filter(|(&x, _)| x != held)
+            .map(|(&x, &y)| (x, y))
+            .unzip();
+        let mut distinct = train_x.clone();
+        distinct.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        distinct.dedup();
+        if distinct.len() < 2 {
+            return None;
+        }
+        let model = fit(kind, &train_x, &train_y);
+        // Score against the mean of the held-out volume's runs.
+        let held_runs: Vec<f64> = xs
+            .iter()
+            .zip(ys)
+            .filter(|(&x, _)| x == held)
+            .map(|(_, &y)| y)
+            .collect();
+        let truth = held_runs.iter().sum::<f64>() / held_runs.len() as f64;
+        let predicted = model.predict(held);
+        if !predicted.is_finite() || truth <= 0.0 {
+            return None;
+        }
+        errors.push(((predicted - truth) / truth).abs());
+    }
+    Some(CvScore {
+        kind,
+        mean_rel_error: errors.iter().sum::<f64>() / errors.len() as f64,
+        largest_volume_error: *errors.last().expect("at least 3 volumes"),
+    })
+}
+
+/// Cross-validate every family and return `(winning fit on all data,
+/// scores)`; the winner minimizes the largest-volume error with the mean
+/// error as tie-breaker. Families that cannot be cross-validated on this
+/// data are skipped; falls back to plain R² selection when none survive.
+pub fn select_by_cross_validation(xs: &[f64], ys: &[f64]) -> (Fit, Vec<CvScore>) {
+    let mut scores: Vec<CvScore> = ModelKind::ALL
+        .iter()
+        .filter_map(|&k| cross_validate(k, xs, ys))
+        .collect();
+    scores.sort_by(|a, b| {
+        (a.largest_volume_error, a.mean_rel_error)
+            .partial_cmp(&(b.largest_volume_error, b.mean_rel_error))
+            .expect("finite scores")
+    });
+    let winner = match scores.first() {
+        Some(best) => fit(best.kind, xs, ys),
+        None => crate::regression::select_best(&crate::regression::fit_all(xs, ys)).clone(),
+    };
+    (winner, scores)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn planted(kind: ModelKind, n: usize, noise: f64) -> (Vec<f64>, Vec<f64>) {
+        let xs: Vec<f64> = (1..=n).map(|i| i as f64 * 1.0e8).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| {
+                let clean = match kind {
+                    ModelKind::Affine => 1.3e-8 * x + 0.5,
+                    ModelKind::PowerLaw => 1.0e-10 * x.powf(1.2),
+                    _ => 1.3e-8 * x,
+                };
+                clean * (1.0 + noise * ((((i * 37) % 11) as f64 / 11.0) - 0.5))
+            })
+            .collect();
+        (xs, ys)
+    }
+
+    #[test]
+    fn recovers_the_planted_family_class() {
+        let (xs, ys) = planted(ModelKind::PowerLaw, 20, 0.01);
+        let (winner, scores) = select_by_cross_validation(&xs, &ys);
+        assert!(!scores.is_empty());
+        // Power law or the log-quad generalization (which contains it).
+        assert!(
+            matches!(winner.kind, ModelKind::PowerLaw | ModelKind::LogQuad),
+            "picked {:?}",
+            winner.kind
+        );
+    }
+
+    #[test]
+    fn linear_data_never_picks_exponential() {
+        let (xs, ys) = planted(ModelKind::Affine, 20, 0.01);
+        let (winner, _) = select_by_cross_validation(&xs, &ys);
+        assert_ne!(winner.kind, ModelKind::Exponential);
+        // And the winner must predict a 4x extrapolation sanely (the
+        // wobble is systematic, so flexible families bend a little).
+        let x_big = 80.0e8;
+        let truth = 1.3e-8 * x_big + 0.5;
+        let predicted = winner.predict(x_big);
+        assert!(
+            (predicted - truth).abs() / truth < 0.20,
+            "{predicted} vs {truth}"
+        );
+    }
+
+    #[test]
+    fn too_few_volumes_returns_none() {
+        assert!(cross_validate(ModelKind::Affine, &[1.0, 2.0], &[1.0, 2.0]).is_none());
+        let xs = [1.0, 1.0, 2.0, 2.0];
+        let ys = [1.0, 1.1, 2.0, 2.1];
+        assert!(cross_validate(ModelKind::Affine, &xs, &ys).is_none());
+    }
+
+    #[test]
+    fn repeated_runs_held_out_together() {
+        // Three distinct volumes, five runs each: CV must work and score
+        // against per-volume means.
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for &v in &[1.0e8, 2.0e8, 4.0e8] {
+            for r in 0..5 {
+                xs.push(v);
+                ys.push(1.3e-8 * v + 0.5 + 0.01 * r as f64);
+            }
+        }
+        let score = cross_validate(ModelKind::Affine, &xs, &ys).unwrap();
+        assert!(score.mean_rel_error < 0.05, "{score:?}");
+    }
+
+    #[test]
+    fn scores_sorted_best_first() {
+        let (xs, ys) = planted(ModelKind::Affine, 15, 0.02);
+        let (_, scores) = select_by_cross_validation(&xs, &ys);
+        for pair in scores.windows(2) {
+            assert!(
+                pair[0].largest_volume_error <= pair[1].largest_volume_error
+                    || pair[0].mean_rel_error <= pair[1].mean_rel_error
+            );
+        }
+    }
+}

@@ -1,0 +1,358 @@
+//! Regression over (volume, runtime) observations.
+//!
+//! The paper's model families (§5):
+//!
+//! * `Linear` — `y = a·x`, fitted in log space as `Y = ln a + X` (the
+//!   intercept-only regression the paper describes);
+//! * `Affine` — `y = a·x + b`, ordinary least squares in linear space
+//!   (Eqs (1)–(4) all carry intercepts, including a negative one, so this
+//!   is the form the paper actually reports);
+//! * `PowerLaw` — `y = a·xᵇ`, OLS on `Y = ln a + b·X`;
+//! * `LogQuad` — `y = x^{a·ln x + b}`, OLS on `Y = a·X² + b·X`;
+//! * `Exponential` — `y = a·e^{b·x}`, OLS on `Y = ln a + b·x`.
+//!
+//! Every fit reports R² (computed on the original scale so families are
+//! comparable), residuals and relative residuals, and can be inverted to
+//! answer "how much volume fits before deadline D".
+
+use serde::{Deserialize, Serialize};
+
+/// The model families.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ModelKind {
+    /// `y = a·x` (log-space intercept fit).
+    Linear,
+    /// `y = a·x + b` (linear-space OLS).
+    Affine,
+    /// `y = a·xᵇ`.
+    PowerLaw,
+    /// `y = x^{a·ln x + b}`.
+    LogQuad,
+    /// `y = a·e^{b·x}`.
+    Exponential,
+}
+
+impl ModelKind {
+    /// Every family, for sweeps.
+    pub const ALL: [ModelKind; 5] = [
+        ModelKind::Linear,
+        ModelKind::Affine,
+        ModelKind::PowerLaw,
+        ModelKind::LogQuad,
+        ModelKind::Exponential,
+    ];
+}
+
+/// A fitted predictor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fit {
+    /// Which family.
+    pub kind: ModelKind,
+    /// First parameter (`a`).
+    pub a: f64,
+    /// Second parameter (`b`; 0 for `Linear`).
+    pub b: f64,
+    /// Coefficient of determination on the original scale.
+    pub r2: f64,
+    /// Residuals `y − f(x)` per observation.
+    pub residuals: Vec<f64>,
+    /// Relative residuals `(y − f(x)) / f(x)` per observation.
+    pub relative_residuals: Vec<f64>,
+}
+
+impl Fit {
+    /// Predicted runtime for volume `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        match self.kind {
+            ModelKind::Linear => self.a * x,
+            ModelKind::Affine => self.a * x + self.b,
+            ModelKind::PowerLaw => self.a * x.powf(self.b),
+            ModelKind::LogQuad => {
+                let lx = x.max(f64::MIN_POSITIVE).ln();
+                (self.a * lx * lx + self.b * lx).exp()
+            }
+            ModelKind::Exponential => self.a * (self.b * x).exp(),
+        }
+    }
+
+    /// Invert the predictor: the volume `x` with `f(x) = y`, when the
+    /// family is analytically invertible and the parameters make `f`
+    /// monotone increasing; `LogQuad` falls back to bisection.
+    pub fn invert(&self, y: f64) -> Option<f64> {
+        match self.kind {
+            ModelKind::Linear => (self.a > 0.0 && y >= 0.0).then(|| y / self.a),
+            ModelKind::Affine => (self.a > 0.0).then(|| (y - self.b) / self.a),
+            ModelKind::PowerLaw => {
+                (self.a > 0.0 && self.b != 0.0 && y > 0.0).then(|| (y / self.a).powf(1.0 / self.b))
+            }
+            ModelKind::Exponential => {
+                (self.a > 0.0 && self.b != 0.0 && y > 0.0).then(|| (y / self.a).ln() / self.b)
+            }
+            ModelKind::LogQuad => {
+                if y <= 0.0 {
+                    return None;
+                }
+                // Bisect over a wide monotone bracket if one exists.
+                let (mut lo, mut hi) = (1.0f64, 1.0e18f64);
+                let (flo, fhi) = (self.predict(lo), self.predict(hi));
+                if !(flo <= y && y <= fhi) {
+                    return None;
+                }
+                for _ in 0..200 {
+                    let mid = (lo + hi) / 2.0;
+                    if self.predict(mid) < y {
+                        lo = mid;
+                    } else {
+                        hi = mid;
+                    }
+                }
+                Some((lo + hi) / 2.0)
+            }
+        }
+    }
+}
+
+fn check_inputs(xs: &[f64], ys: &[f64]) {
+    assert_eq!(xs.len(), ys.len(), "x/y length mismatch");
+    assert!(xs.len() >= 2, "need at least two observations");
+    assert!(
+        xs.iter().all(|&x| x > 0.0) && ys.iter().all(|&y| y > 0.0),
+        "volumes and runtimes must be positive for log-space fits"
+    );
+}
+
+fn finish(kind: ModelKind, a: f64, b: f64, xs: &[f64], ys: &[f64]) -> Fit {
+    let mut fit = Fit {
+        kind,
+        a,
+        b,
+        r2: 0.0,
+        residuals: Vec::with_capacity(xs.len()),
+        relative_residuals: Vec::with_capacity(xs.len()),
+    };
+    let mean_y = ys.iter().sum::<f64>() / ys.len() as f64;
+    let mut ss_res = 0.0;
+    let mut ss_tot = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        let p = fit.predict(x);
+        fit.residuals.push(y - p);
+        fit.relative_residuals
+            .push(if p != 0.0 { (y - p) / p } else { f64::NAN });
+        ss_res += (y - p).powi(2);
+        ss_tot += (y - mean_y).powi(2);
+    }
+    fit.r2 = if ss_tot == 0.0 {
+        if ss_res == 0.0 {
+            1.0
+        } else {
+            0.0
+        }
+    } else {
+        1.0 - ss_res / ss_tot
+    };
+    fit
+}
+
+/// Fit one family to the observations.
+pub fn fit(kind: ModelKind, xs: &[f64], ys: &[f64]) -> Fit {
+    check_inputs(xs, ys);
+    let n = xs.len() as f64;
+    match kind {
+        ModelKind::Linear => {
+            // Y = ln a + X  =>  ln a = mean(Y − X).
+            let ln_a = xs
+                .iter()
+                .zip(ys)
+                .map(|(&x, &y)| y.ln() - x.ln())
+                .sum::<f64>()
+                / n;
+            finish(kind, ln_a.exp(), 0.0, xs, ys)
+        }
+        ModelKind::Affine => {
+            // Plain OLS in linear space.
+            let mx = xs.iter().sum::<f64>() / n;
+            let my = ys.iter().sum::<f64>() / n;
+            let sxy: f64 = xs.iter().zip(ys).map(|(&x, &y)| (x - mx) * (y - my)).sum();
+            let sxx: f64 = xs.iter().map(|&x| (x - mx).powi(2)).sum();
+            let a = sxy / sxx;
+            let b = my - a * mx;
+            finish(kind, a, b, xs, ys)
+        }
+        ModelKind::PowerLaw => {
+            let (ln_a, b) = ols(
+                &xs.iter().map(|&x| x.ln()).collect::<Vec<_>>(),
+                &ys.iter().map(|&y| y.ln()).collect::<Vec<_>>(),
+            );
+            finish(kind, ln_a.exp(), b, xs, ys)
+        }
+        ModelKind::LogQuad => {
+            // Y = a·X² + b·X with X = ln x (no intercept): normal equations.
+            let lx: Vec<f64> = xs.iter().map(|&x| x.ln()).collect();
+            let ly: Vec<f64> = ys.iter().map(|&y| y.ln()).collect();
+            let s22: f64 = lx.iter().map(|&x| x.powi(4)).sum();
+            let s21: f64 = lx.iter().map(|&x| x.powi(3)).sum();
+            let s11: f64 = lx.iter().map(|&x| x.powi(2)).sum();
+            let t2: f64 = lx.iter().zip(&ly).map(|(&x, &y)| x * x * y).sum();
+            let t1: f64 = lx.iter().zip(&ly).map(|(&x, &y)| x * y).sum();
+            let det = s22 * s11 - s21 * s21;
+            let (a, b) = if det.abs() < 1e-12 {
+                (0.0, if s11 != 0.0 { t1 / s11 } else { 0.0 })
+            } else {
+                ((t2 * s11 - t1 * s21) / det, (s22 * t1 - s21 * t2) / det)
+            };
+            finish(kind, a, b, xs, ys)
+        }
+        ModelKind::Exponential => {
+            let (ln_a, b) = ols(xs, &ys.iter().map(|&y| y.ln()).collect::<Vec<_>>());
+            finish(kind, ln_a.exp(), b, xs, ys)
+        }
+    }
+}
+
+/// Intercept+slope OLS; returns (intercept, slope).
+fn ols(xs: &[f64], ys: &[f64]) -> (f64, f64) {
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let sxy: f64 = xs.iter().zip(ys).map(|(&x, &y)| (x - mx) * (y - my)).sum();
+    let sxx: f64 = xs.iter().map(|&x| (x - mx).powi(2)).sum();
+    let slope = if sxx == 0.0 { 0.0 } else { sxy / sxx };
+    (my - slope * mx, slope)
+}
+
+/// Fit every family.
+pub fn fit_all(xs: &[f64], ys: &[f64]) -> Vec<Fit> {
+    ModelKind::ALL.iter().map(|&k| fit(k, xs, ys)).collect()
+}
+
+/// The fit with the highest original-scale R².
+pub fn select_best(fits: &[Fit]) -> &Fit {
+    fits.iter()
+        .max_by(|a, b| a.r2.partial_cmp(&b.r2).expect("finite R²"))
+        .expect("at least one fit")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn affine_recovers_planted_line() {
+        // Large volumes keep all planted runtimes positive despite the
+        // negative intercept (the log-space input check requires y > 0).
+        let xs: Vec<f64> = (1..=20).map(|i| i as f64 * 1.0e8 + 1.0e9).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| 1.324e-8 * x - 0.974).collect();
+        let f = fit(ModelKind::Affine, &xs, &ys);
+        assert!((f.a - 1.324e-8).abs() < 1e-12);
+        assert!((f.b + 0.974).abs() < 1e-6);
+        assert!(f.r2 > 0.999999);
+        assert!((f.predict(7.55e10) - (1.324e-8 * 7.55e10 - 0.974)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn linear_log_space_fit_matches_paper_form() {
+        // y = 3x exactly: ln a = mean(ln y − ln x) = ln 3.
+        let xs = [1.0, 10.0, 100.0, 1000.0];
+        let ys: Vec<f64> = xs.iter().map(|&x| 3.0 * x).collect();
+        let f = fit(ModelKind::Linear, &xs, &ys);
+        assert!((f.a - 3.0).abs() < 1e-12);
+        assert!(f.r2 > 0.999999);
+    }
+
+    #[test]
+    fn power_law_recovers_exponent() {
+        let xs: Vec<f64> = (1..=30).map(|i| i as f64 * 100.0).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| 0.5 * x.powf(1.3)).collect();
+        let f = fit(ModelKind::PowerLaw, &xs, &ys);
+        assert!((f.a - 0.5).abs() < 1e-9);
+        assert!((f.b - 1.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exponential_recovers_rate() {
+        let xs: Vec<f64> = (1..=20).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| 2.0 * (0.3 * x).exp()).collect();
+        let f = fit(ModelKind::Exponential, &xs, &ys);
+        assert!((f.a - 2.0).abs() < 1e-9);
+        assert!((f.b - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn logquad_recovers_planted_params() {
+        let xs: Vec<f64> = (2..=30).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|&x| {
+                let lx = x.ln();
+                (0.05 * lx * lx + 0.8 * lx).exp()
+            })
+            .collect();
+        let f = fit(ModelKind::LogQuad, &xs, &ys);
+        assert!((f.a - 0.05).abs() < 1e-9, "a = {}", f.a);
+        assert!((f.b - 0.8).abs() < 1e-9, "b = {}", f.b);
+    }
+
+    #[test]
+    fn select_best_prefers_true_family() {
+        let xs: Vec<f64> = (1..=40).map(|i| i as f64 * 50.0).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| 0.2 * x.powf(1.5)).collect();
+        let fits = fit_all(&xs, &ys);
+        let best = select_best(&fits);
+        assert_eq!(best.kind, ModelKind::PowerLaw);
+    }
+
+    #[test]
+    fn inversion_roundtrips() {
+        let xs: Vec<f64> = (1..=20).map(|i| i as f64 * 1.0e9).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| 8.65e-5 * x / 1000.0 + 0.327).collect();
+        for kind in [ModelKind::Affine, ModelKind::Linear, ModelKind::PowerLaw] {
+            let f = fit(kind, &xs, &ys);
+            let d = 3600.0;
+            if let Some(x) = f.invert(d) {
+                assert!((f.predict(x) - d).abs() / d < 1e-6, "{kind:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn logquad_inversion_by_bisection() {
+        let xs: Vec<f64> = (2..=30).map(|i| i as f64 * 1000.0).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|&x| {
+                let lx = x.ln();
+                (0.01 * lx * lx + 0.5 * lx).exp()
+            })
+            .collect();
+        let f = fit(ModelKind::LogQuad, &xs, &ys);
+        let y = f.predict(12_345.0);
+        let x = f.invert(y).unwrap();
+        assert!((x - 12_345.0).abs() / 12_345.0 < 1e-6);
+    }
+
+    #[test]
+    fn noisy_fit_r2_below_one_but_high() {
+        let xs: Vec<f64> = (1..=50).map(|i| i as f64 * 1.0e7).collect();
+        // Deterministic "noise" via a hash-like wobble.
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| 2.0e-8 * x * (1.0 + 0.02 * ((i * 37 % 11) as f64 / 11.0 - 0.5)))
+            .collect();
+        let f = fit(ModelKind::Affine, &xs, &ys);
+        assert!(f.r2 > 0.99 && f.r2 < 1.0, "r2 {}", f.r2);
+        assert_eq!(f.residuals.len(), xs.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two observations")]
+    fn one_point_rejected() {
+        fit(ModelKind::Affine, &[1.0], &[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn nonpositive_rejected() {
+        fit(ModelKind::Linear, &[1.0, 0.0], &[1.0, 1.0]);
+    }
+}

@@ -1,0 +1,110 @@
+//! Repeated measurements: mean, standard deviation, coefficient of
+//! variation. "All performance measurements are repeated 5 times and the
+//! average and standard deviation are noted" (§4).
+
+use serde::{Deserialize, Serialize};
+
+/// A repeated measurement of one probe.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Measurement {
+    /// Volume processed, bytes.
+    pub volume: u64,
+    /// Observed runtimes, seconds (usually 5 entries).
+    pub runs: Vec<f64>,
+}
+
+impl Measurement {
+    /// Wrap raw runs.
+    pub fn new(volume: u64, runs: Vec<f64>) -> Self {
+        assert!(!runs.is_empty(), "a measurement needs at least one run");
+        Measurement { volume, runs }
+    }
+
+    /// Arithmetic mean.
+    pub fn mean(&self) -> f64 {
+        self.runs.iter().sum::<f64>() / self.runs.len() as f64
+    }
+
+    /// Sample standard deviation (0 for a single run).
+    pub fn stddev(&self) -> f64 {
+        if self.runs.len() < 2 {
+            return 0.0;
+        }
+        let m = self.mean();
+        let var = self.runs.iter().map(|r| (r - m).powi(2)).sum::<f64>()
+            / (self.runs.len() - 1) as f64;
+        var.sqrt()
+    }
+
+    /// Coefficient of variation (σ/μ); infinite for a zero mean.
+    pub fn cv(&self) -> f64 {
+        let m = self.mean();
+        if m == 0.0 {
+            f64::INFINITY
+        } else {
+            self.stddev() / m
+        }
+    }
+
+    /// The paper's stability test: a probe set whose measurements have a
+    /// large relative spread is discarded and the volume increased.
+    pub fn is_stable(&self, max_cv: f64) -> bool {
+        self.cv() <= max_cv
+    }
+}
+
+/// Mean over a slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>() / xs.len().max(1) as f64
+}
+
+/// Sample standard deviation over a slice.
+pub fn stddev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (xs.len() - 1) as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_stddev_hand_computed() {
+        let m = Measurement::new(100, vec![2.0, 4.0, 4.0, 4.0, 6.0]);
+        assert!((m.mean() - 4.0).abs() < 1e-12);
+        // sample sd of [2,4,4,4,6] = sqrt(8/4) = sqrt(2)
+        assert!((m.stddev() - 2.0f64.sqrt()).abs() < 1e-12);
+        assert!((m.cv() - 2.0f64.sqrt() / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_run_has_zero_sd() {
+        let m = Measurement::new(1, vec![5.0]);
+        assert_eq!(m.stddev(), 0.0);
+        assert_eq!(m.cv(), 0.0);
+    }
+
+    #[test]
+    fn zero_mean_cv_is_infinite() {
+        let m = Measurement::new(1, vec![0.0, 0.0]);
+        assert!(m.cv().is_infinite());
+        assert!(!m.is_stable(0.5));
+    }
+
+    #[test]
+    fn stability_threshold() {
+        let stable = Measurement::new(1, vec![10.0, 10.2, 9.9, 10.1, 10.0]);
+        let unstable = Measurement::new(1, vec![0.1, 0.5, 0.2, 0.9, 0.05]);
+        assert!(stable.is_stable(0.1));
+        assert!(!unstable.is_stable(0.1));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one run")]
+    fn empty_runs_rejected() {
+        Measurement::new(1, vec![]);
+    }
+}

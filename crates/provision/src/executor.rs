@@ -1,0 +1,299 @@
+//! Execute a [`Plan`] on the simulated cloud: one instance per bin, all in
+//! parallel, with data staged on EBS (the grep setup: "the data is already
+//! staged onto EBS storage volumes") or local storage (the POS setup:
+//! "staged onto local storage in a constant time per run").
+
+use crate::plan::Plan;
+use crate::pricing::{instance_hours, PricingModel};
+use ec2sim::{screen_at, Cloud, CloudError, DataLocation, InstanceId, ScreeningPolicy};
+use serde::{Deserialize, Serialize};
+use textapps::AppCostModel;
+
+/// Where each instance's input is staged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StagingTier {
+    /// One EBS volume per instance, attached before the run.
+    Ebs,
+    /// Ephemeral local storage, populated in constant time per run.
+    Local,
+}
+
+/// Execution parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExecutionConfig {
+    /// Instance type for the fleet.
+    pub itype: ec2sim::InstanceType,
+    /// Zone for instances and volumes.
+    pub zone: ec2sim::AvailabilityZone,
+    /// Where the data sits.
+    pub staging: StagingTier,
+    /// Constant stage-in time for `Local` staging, seconds.
+    pub stage_in_secs: f64,
+    /// Screen every fleet instance with bonnie before use (§4 applied
+    /// fleet-wide); rejected instances are terminated unbilled-but-booted
+    /// and replaced, delaying that share's start.
+    pub screen: bool,
+    /// Pricing used for the report.
+    pub pricing: PricingModel,
+}
+
+impl Default for ExecutionConfig {
+    fn default() -> Self {
+        ExecutionConfig {
+            itype: ec2sim::InstanceType::Small,
+            zone: ec2sim::AvailabilityZone::us_east_1a(),
+            staging: StagingTier::Ebs,
+            stage_in_secs: 30.0,
+            screen: false,
+            pricing: PricingModel::default(),
+        }
+    }
+}
+
+/// One instance's measured execution.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InstanceRun {
+    /// Which instance ran this share.
+    pub instance: InstanceId,
+    /// Bytes processed.
+    pub volume: u64,
+    /// Files processed.
+    pub files: usize,
+    /// The plan's predicted runtime, seconds.
+    pub predicted_secs: f64,
+    /// Observed job time (staging/attach + application run), seconds —
+    /// the quantity the paper plots against the deadline line.
+    pub job_secs: f64,
+    /// Whether the job finished within the user deadline.
+    pub met_deadline: bool,
+}
+
+/// The fleet-level outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExecutionReport {
+    /// Per-instance outcomes, in plan order.
+    pub runs: Vec<InstanceRun>,
+    /// The user deadline, seconds.
+    pub deadline_secs: f64,
+    /// Max observed job time, seconds.
+    pub makespan_secs: f64,
+    /// Instances that missed the deadline.
+    pub misses: usize,
+    /// Total billed instance-hours.
+    pub instance_hours: u64,
+    /// Total dollars.
+    pub cost: f64,
+}
+
+impl ExecutionReport {
+    /// True when no instance missed.
+    pub fn met_deadline(&self) -> bool {
+        self.misses == 0
+    }
+}
+
+/// Launch one fleet instance, optionally screening it with bonnie first
+/// (up to 16 candidates; rejects are terminated while still free).
+fn acquire_fleet_instance(
+    cloud: &mut Cloud,
+    cfg: &ExecutionConfig,
+) -> Result<(InstanceId, f64), CloudError> {
+    if !cfg.screen {
+        let inst = cloud.launch(cfg.itype, cfg.zone)?;
+        let ready = cloud.running_at(inst)?;
+        return Ok((inst, ready));
+    }
+    let policy = ScreeningPolicy::default();
+    let mut not_before = 0.0f64;
+    let mut last = None;
+    for _ in 0..policy.max_attempts {
+        let inst = cloud.launch(cfg.itype, cfg.zone)?;
+        let (passed, ready) = screen_at(cloud, inst, &policy)?;
+        let ready = ready.max(not_before);
+        if passed {
+            return Ok((inst, ready));
+        }
+        cloud.terminate_at(inst, ready)?;
+        // The replacement boots while we finish rejecting this one.
+        not_before = ready;
+        last = Some(inst);
+    }
+    Err(CloudError::NotRunning(last.expect("at least one attempt")))
+}
+
+/// Run every instance of the plan concurrently (per-instance timelines)
+/// and summarize.
+pub fn execute_plan(
+    cloud: &mut Cloud,
+    plan: &Plan,
+    model: &dyn AppCostModel,
+    cfg: &ExecutionConfig,
+) -> Result<ExecutionReport, CloudError> {
+    let mut runs = Vec::with_capacity(plan.instance_count());
+    let attach = cloud.config().attach_overhead_s;
+    for share in &plan.instances {
+        let (inst, boot_done) = acquire_fleet_instance(cloud, cfg)?;
+        let (data, setup_secs) = match cfg.staging {
+            StagingTier::Ebs => {
+                let vol = cloud.create_volume(cfg.zone, share.volume.max(1));
+                cloud.attach_volume_at(vol, inst, boot_done)?;
+                (
+                    DataLocation::Ebs {
+                        volume: vol,
+                        offset: 0,
+                    },
+                    attach,
+                )
+            }
+            StagingTier::Local => (DataLocation::Local, cfg.stage_in_secs),
+        };
+        let report = cloud.submit_job(inst, model, &share.files, data, boot_done + setup_secs)?;
+        cloud.terminate_at(inst, report.finished_at)?;
+        let job_secs = setup_secs + report.observed_secs;
+        runs.push(InstanceRun {
+            instance: inst,
+            volume: share.volume,
+            files: share.files.len(),
+            predicted_secs: share.predicted_secs,
+            job_secs,
+            met_deadline: job_secs <= plan.deadline_secs,
+        });
+    }
+    let makespan_secs = runs.iter().map(|r| r.job_secs).fold(0.0, f64::max);
+    let misses = runs.iter().filter(|r| !r.met_deadline).count();
+    let hours: u64 = runs.iter().map(|r| instance_hours(r.job_secs)).sum();
+    Ok(ExecutionReport {
+        deadline_secs: plan.deadline_secs,
+        makespan_secs,
+        misses,
+        instance_hours: hours,
+        cost: hours as f64 * cfg.pricing.hourly_rate,
+        runs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::{make_plan, Strategy};
+    use corpus::FileSpec;
+    use ec2sim::CloudConfig;
+    use perfmodel::{fit, Fit, ModelKind};
+    use textapps::GrepCostModel;
+
+    /// Model matched to the ideal cloud: 75 MB/s + per-file overhead folded
+    /// into the slope for ~1 MB files.
+    fn grep_fit() -> Fit {
+        let xs: Vec<f64> = (1..=20).map(|i| i as f64 * 1.0e8).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(k, &x)| {
+                1.0 + x / 75.0e6 * (1.0 + 0.01 * if k % 2 == 0 { 1.0 } else { -1.0 })
+            })
+            .collect();
+        fit(ModelKind::Affine, &xs, &ys)
+    }
+
+    fn corpus_files(n: u64, size: u64) -> Vec<FileSpec> {
+        (0..n).map(|i| FileSpec::new(i, size)).collect()
+    }
+
+    #[test]
+    fn ideal_cloud_meets_uniform_plan() {
+        let mut cloud = Cloud::new(CloudConfig::ideal(1));
+        let m = grep_fit();
+        // 4 GB, deadline 20 s per instance -> ~ 1.4 GB per instance.
+        let files = corpus_files(40, 100_000_000);
+        let plan = make_plan(Strategy::UniformBins, &files, &m, 20.0);
+        let report = execute_plan(
+            &mut cloud,
+            &plan,
+            &GrepCostModel::default(),
+            &ExecutionConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(report.runs.len(), plan.instance_count());
+        assert!(report.met_deadline(), "misses: {}", report.misses);
+        assert!(report.makespan_secs <= 20.0);
+        assert_eq!(report.instance_hours, plan.instance_count() as u64);
+    }
+
+    #[test]
+    fn fleet_runs_in_parallel_not_serially() {
+        let mut cloud = Cloud::new(CloudConfig::ideal(2));
+        let m = grep_fit();
+        let files = corpus_files(100, 100_000_000); // 10 GB
+        let plan = make_plan(Strategy::UniformBins, &files, &m, 30.0);
+        assert!(plan.instance_count() >= 4);
+        let report = execute_plan(
+            &mut cloud,
+            &plan,
+            &GrepCostModel::default(),
+            &ExecutionConfig::default(),
+        )
+        .unwrap();
+        // Makespan ≈ one share's time, nowhere near the serial sum.
+        let serial: f64 = report.runs.iter().map(|r| r.job_secs).sum();
+        assert!(report.makespan_secs < serial / 2.0);
+    }
+
+    #[test]
+    fn heterogeneous_cloud_can_miss() {
+        // With a hostile fleet (many slow instances) and a deadline sized
+        // for good instances, some instances must miss.
+        let mut cloud = Cloud::new(CloudConfig {
+            seed: 3,
+            slow_fraction: 0.9,
+            startup_mean_s: 0.0,
+            startup_jitter_s: 0.0,
+            ..CloudConfig::default()
+        });
+        let m = grep_fit();
+        let files = corpus_files(100, 100_000_000);
+        let plan = make_plan(Strategy::UniformBins, &files, &m, 30.0);
+        let report = execute_plan(
+            &mut cloud,
+            &plan,
+            &GrepCostModel::default(),
+            &ExecutionConfig::default(),
+        )
+        .unwrap();
+        assert!(report.misses > 0);
+        assert!(report.makespan_secs > 30.0);
+    }
+
+    #[test]
+    fn local_staging_adds_constant_stage_in() {
+        let mut cloud = Cloud::new(CloudConfig::ideal(4));
+        let m = grep_fit();
+        let files = corpus_files(10, 100_000_000);
+        let plan = make_plan(Strategy::UniformBins, &files, &m, 60.0);
+        let cfg = ExecutionConfig {
+            staging: StagingTier::Local,
+            stage_in_secs: 25.0,
+            ..ExecutionConfig::default()
+        };
+        let report =
+            execute_plan(&mut cloud, &plan, &GrepCostModel::default(), &cfg).unwrap();
+        for r in &report.runs {
+            assert!(r.job_secs >= 25.0);
+        }
+    }
+
+    #[test]
+    fn cost_equals_hours_times_rate() {
+        let mut cloud = Cloud::new(CloudConfig::ideal(5));
+        let m = grep_fit();
+        let files = corpus_files(30, 100_000_000);
+        let plan = make_plan(Strategy::UniformBins, &files, &m, 15.0);
+        let report = execute_plan(
+            &mut cloud,
+            &plan,
+            &GrepCostModel::default(),
+            &ExecutionConfig::default(),
+        )
+        .unwrap();
+        assert!((report.cost - report.instance_hours as f64 * 0.085).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,153 @@
+//! Monte-Carlo plan evaluation: execute the same plan against many
+//! independently seeded fleets in parallel (rayon) and aggregate the
+//! outcome distribution. This is how a user decides whether a plan's miss
+//! risk is acceptable *before* paying for the real fleet.
+
+use crate::executor::{execute_plan, ExecutionConfig, ExecutionReport};
+use crate::plan::Plan;
+use ec2sim::{Cloud, CloudConfig};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use textapps::AppCostModel;
+
+/// Aggregated outcome over many fleets.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlanDistribution {
+    /// Fleets simulated.
+    pub fleets: usize,
+    /// Fraction of fleets with zero misses.
+    pub p_meet_deadline: f64,
+    /// Mean per-instance miss rate.
+    pub mean_miss_rate: f64,
+    /// Mean makespan, seconds.
+    pub mean_makespan: f64,
+    /// 95th-percentile makespan, seconds.
+    pub p95_makespan: f64,
+    /// Mean billed instance-hours.
+    pub mean_instance_hours: f64,
+    /// Mean dollars.
+    pub mean_cost: f64,
+}
+
+/// Execute `plan` on `fleets` fleets derived from `base` by reseeding,
+/// in parallel, and aggregate.
+pub fn evaluate_plan(
+    plan: &Plan,
+    model: &(dyn AppCostModel + Sync),
+    cfg: &ExecutionConfig,
+    base: CloudConfig,
+    seed0: u64,
+    fleets: usize,
+) -> PlanDistribution {
+    assert!(fleets >= 1, "need at least one fleet");
+    let reports: Vec<ExecutionReport> = (0..fleets as u64)
+        .into_par_iter()
+        .map(|k| {
+            let mut cloud = Cloud::new(CloudConfig {
+                seed: seed0.wrapping_add(k),
+                ..base
+            });
+            execute_plan(&mut cloud, plan, model, cfg).expect("fleet execution failed")
+        })
+        .collect();
+    aggregate(&reports)
+}
+
+fn aggregate(reports: &[ExecutionReport]) -> PlanDistribution {
+    let n = reports.len() as f64;
+    let mut makespans: Vec<f64> = reports.iter().map(|r| r.makespan_secs).collect();
+    makespans.sort_by(|a, b| a.partial_cmp(b).expect("finite makespans"));
+    let p95_idx = ((makespans.len() as f64 * 0.95).ceil() as usize).min(makespans.len()) - 1;
+    PlanDistribution {
+        fleets: reports.len(),
+        p_meet_deadline: reports.iter().filter(|r| r.misses == 0).count() as f64 / n,
+        mean_miss_rate: reports
+            .iter()
+            .map(|r| r.misses as f64 / r.runs.len().max(1) as f64)
+            .sum::<f64>()
+            / n,
+        mean_makespan: makespans.iter().sum::<f64>() / n,
+        p95_makespan: makespans[p95_idx],
+        mean_instance_hours: reports.iter().map(|r| r.instance_hours as f64).sum::<f64>() / n,
+        mean_cost: reports.iter().map(|r| r.cost).sum::<f64>() / n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::{make_plan, Strategy};
+    use corpus::FileSpec;
+    use perfmodel::{fit, ModelKind};
+    use textapps::GrepCostModel;
+
+    fn plan() -> Plan {
+        let xs: Vec<f64> = (1..=10).map(|i| i as f64 * 1.0e8).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| 1.0 + x / 75.0e6).collect();
+        let f = fit(ModelKind::Affine, &xs, &ys);
+        let files: Vec<FileSpec> = (0..40)
+            .map(|i| FileSpec::new(i, 100_000_000))
+            .collect();
+        make_plan(Strategy::UniformBins, &files, &f, 25.0)
+    }
+
+    #[test]
+    fn homogeneous_fleets_always_meet() {
+        let dist = evaluate_plan(
+            &plan(),
+            &GrepCostModel::default(),
+            &ExecutionConfig::default(),
+            CloudConfig {
+                homogeneous: true,
+                slow_segment_fraction: 0.0,
+                ..CloudConfig::default()
+            },
+            1,
+            16,
+        );
+        assert_eq!(dist.fleets, 16);
+        assert!(dist.p_meet_deadline > 0.9, "{dist:?}");
+        assert!(dist.p95_makespan >= dist.mean_makespan);
+    }
+
+    #[test]
+    fn hostile_fleets_meet_less_often() {
+        let model = GrepCostModel::default();
+        let cfg = ExecutionConfig::default();
+        let good = evaluate_plan(
+            &plan(),
+            &model,
+            &cfg,
+            CloudConfig {
+                homogeneous: true,
+                slow_segment_fraction: 0.0,
+                ..CloudConfig::default()
+            },
+            1,
+            12,
+        );
+        let bad = evaluate_plan(
+            &plan(),
+            &model,
+            &cfg,
+            CloudConfig {
+                slow_fraction: 0.5,
+                ..CloudConfig::default()
+            },
+            1,
+            12,
+        );
+        assert!(bad.p_meet_deadline < good.p_meet_deadline);
+        assert!(bad.mean_makespan > good.mean_makespan);
+    }
+
+    #[test]
+    fn deterministic_given_seeds() {
+        let model = GrepCostModel::default();
+        let cfg = ExecutionConfig::default();
+        let base = CloudConfig::default();
+        let a = evaluate_plan(&plan(), &model, &cfg, base, 7, 8);
+        let b = evaluate_plan(&plan(), &model, &cfg, base, 7, 8);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,105 @@
+//! The paper's cost function (§5).
+//!
+//! With flat rate `r` per started hour and predicted total processing time
+//! `P` (in hours, on one instance):
+//!
+//! * `D ≥ 1 h`: cost is `r·⌈P⌉` — pack whole hours of work into each
+//!   instance; the constant slope means splitting across instances does
+//!   not change the total billed hours;
+//! * `D < 1 h`: cost is `r·⌈P/D⌉` — we must pay a *full hour* for every
+//!   instance even though each runs only `D`.
+
+use serde::{Deserialize, Serialize};
+
+/// Flat-rate pricing.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PricingModel {
+    /// Dollars per started instance-hour ($0.085 for small instances).
+    pub hourly_rate: f64,
+}
+
+impl Default for PricingModel {
+    fn default() -> Self {
+        PricingModel { hourly_rate: 0.085 }
+    }
+}
+
+/// Billed hours for one instance running `secs` seconds.
+pub fn instance_hours(secs: f64) -> u64 {
+    if secs <= 0.0 {
+        0
+    } else {
+        (secs / 3600.0).ceil().max(1.0) as u64
+    }
+}
+
+/// The paper's piecewise cost `f(d)` for predicted work `p_hours` under
+/// deadline `d_hours`, both in hours, for a linear (`y = ax`) performance
+/// model.
+pub fn cost_for_deadline(pricing: &PricingModel, p_hours: f64, d_hours: f64) -> f64 {
+    assert!(p_hours >= 0.0 && d_hours > 0.0, "invalid work or deadline");
+    if d_hours >= 1.0 {
+        pricing.hourly_rate * p_hours.ceil()
+    } else {
+        pricing.hourly_rate * (p_hours / d_hours).ceil()
+    }
+}
+
+impl PricingModel {
+    /// Dollars for a fleet where instance `i` ran `secs[i]` seconds.
+    pub fn fleet_cost(&self, secs: &[f64]) -> f64 {
+        secs.iter()
+            .map(|&s| instance_hours(s) as f64 * self.hourly_rate)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn long_deadline_bills_ceiled_work() {
+        let p = PricingModel::default();
+        // 26.1 h of POS work, D = 1 h → the paper's 27 instances.
+        let c = cost_for_deadline(&p, 26.1, 1.0);
+        assert!((c - 27.0 * 0.085).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sub_hour_deadline_pays_full_hours() {
+        let p = PricingModel::default();
+        // 2 h of work in 30 min → 4 instances, each a full billed hour.
+        let c = cost_for_deadline(&p, 2.0, 0.5);
+        assert!((c - 4.0 * 0.085).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cost_monotone_in_work() {
+        let p = PricingModel::default();
+        assert!(
+            cost_for_deadline(&p, 10.0, 2.0) <= cost_for_deadline(&p, 11.0, 2.0)
+        );
+    }
+
+    #[test]
+    fn instance_hours_edges() {
+        assert_eq!(instance_hours(0.0), 0);
+        assert_eq!(instance_hours(1.0), 1);
+        assert_eq!(instance_hours(3600.0), 1);
+        assert_eq!(instance_hours(3600.001), 2);
+    }
+
+    #[test]
+    fn fleet_cost_sums_per_instance_ceilings() {
+        let p = PricingModel::default();
+        let c = p.fleet_cost(&[100.0, 3599.0, 3601.0]);
+        assert!((c - 4.0 * 0.085).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid work or deadline")]
+    fn zero_deadline_rejected() {
+        cost_for_deadline(&PricingModel::default(), 1.0, 0.0);
+    }
+}

@@ -1,0 +1,216 @@
+//! Planning strategies — the variants compared across Figs 8 and 9.
+
+use crate::plan::Plan;
+use binpack::{first_fit, uniform_k_bins, Item};
+use corpus::FileSpec;
+use perfmodel::{adjusted_deadline, adjustment_factor, Fit, ResidualStats};
+use serde::{Deserialize, Serialize};
+
+/// How to turn (model, volume, deadline) into per-instance bins.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Strategy {
+    /// In-order first fit at capacity `⌊f⁻¹(D)⌋` (Fig 8(a)): instances are
+    /// filled to the model's capacity; the last bin may be nearly empty.
+    CapacityDriven,
+    /// Uniform bins over `i = ⌈V / f⁻¹(D)⌉` instances (Fig 8(b)): same
+    /// cost, every instance gets `V/i`, maximizing the deadline margin.
+    UniformBins,
+    /// The paper's §5.2 general strategy: size the fleet with `f⁻¹(D)`,
+    /// then check the *adjusted* deadline `D/(1+a)` (miss probability
+    /// `p_miss`). If uniform bins at `V/i` already finish within the
+    /// adjusted deadline, keep them; otherwise re-size the fleet against
+    /// the adjusted deadline (Fig 8(d), Fig 9(c)).
+    AdjustedDeadline {
+        /// Acceptable probability of missing the user deadline.
+        p_miss: f64,
+    },
+}
+
+fn to_items(files: &[FileSpec]) -> Vec<Item> {
+    files
+        .iter()
+        .enumerate()
+        .map(|(i, f)| Item::new(i as u64, f.size))
+        .collect()
+}
+
+fn bins_to_filelists(packing: &binpack::Packing, files: &[FileSpec]) -> Vec<Vec<FileSpec>> {
+    packing
+        .bins
+        .iter()
+        .map(|b| b.items.iter().map(|it| files[it.id as usize]).collect())
+        .collect()
+}
+
+/// Build a plan for processing `files` before `deadline_secs` under `fit`.
+///
+/// Panics if the model cannot be inverted at the deadline or prescribes a
+/// non-positive per-instance volume (deadline shorter than the model's
+/// fixed costs).
+pub fn make_plan(
+    strategy: Strategy,
+    files: &[FileSpec],
+    fit: &Fit,
+    deadline_secs: f64,
+) -> Plan {
+    let total: u64 = files.iter().map(|f| f.size).sum();
+    let invert_or_panic = |d: f64| -> u64 {
+        let x = fit
+            .invert(d)
+            .unwrap_or_else(|| panic!("model not invertible at deadline {d}"));
+        assert!(
+            x >= 1.0,
+            "deadline {d}s is below the model's fixed costs (f^-1 = {x})"
+        );
+        x as u64
+    };
+
+    match strategy {
+        Strategy::CapacityDriven => {
+            let x0 = invert_or_panic(deadline_secs);
+            let packing = first_fit(&to_items(files), x0);
+            Plan::from_bins(
+                bins_to_filelists(&packing, files),
+                fit,
+                deadline_secs,
+                deadline_secs,
+                x0,
+            )
+        }
+        Strategy::UniformBins => {
+            let x0 = invert_or_panic(deadline_secs);
+            let i = total.div_ceil(x0).max(1) as usize;
+            let packing = uniform_k_bins(&to_items(files), i);
+            Plan::from_bins(
+                bins_to_filelists(&packing, files),
+                fit,
+                deadline_secs,
+                deadline_secs,
+                x0,
+            )
+        }
+        Strategy::AdjustedDeadline { p_miss } => {
+            let res = ResidualStats::from_relative_residuals(&fit.relative_residuals);
+            let a = adjustment_factor(&res, p_miss);
+            let d_adj = adjusted_deadline(deadline_secs, a);
+            let x0 = invert_or_panic(deadline_secs);
+            let i = total.div_ceil(x0).max(1) as usize;
+            // Uniform over i instances gives V/i per instance; if that
+            // already meets the adjusted deadline, keep the cheaper fleet.
+            let vd1 = total.div_ceil(i as u64);
+            let planning_deadline;
+            let bins = if fit.predict(vd1 as f64) <= d_adj {
+                planning_deadline = deadline_secs;
+                uniform_k_bins(&to_items(files), i)
+            } else {
+                planning_deadline = d_adj;
+                let x_adj = invert_or_panic(d_adj);
+                let i_adj = total.div_ceil(x_adj).max(1) as usize;
+                uniform_k_bins(&to_items(files), i_adj)
+            };
+            Plan::from_bins(
+                bins_to_filelists(&bins, files),
+                fit,
+                deadline_secs,
+                planning_deadline,
+                x0,
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perfmodel::{fit as fit_model, ModelKind};
+
+    /// A linear model: 1 second per MB (1e-6 s/B), tiny intercept.
+    fn model() -> Fit {
+        let xs: Vec<f64> = (1..=20).map(|i| i as f64 * 1.0e6).collect();
+        // Add deterministic ±2 % wobble so residuals are non-degenerate
+        // (the adjusted-deadline strategy needs a residual spread).
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(k, &x)| 1.0e-6 * x * (1.0 + 0.02 * if k % 2 == 0 { 1.0 } else { -1.0 }))
+            .collect();
+        fit_model(ModelKind::Affine, &xs, &ys)
+    }
+
+    fn corpus_files(n: u64, size: u64) -> Vec<FileSpec> {
+        (0..n).map(|i| FileSpec::new(i, size)).collect()
+    }
+
+    #[test]
+    fn capacity_driven_fleet_size_matches_formula() {
+        let m = model();
+        // 100 MB of work, deadline 10 s → x0 ≈ 10 MB → 10 instances.
+        let files = corpus_files(100, 1_000_000);
+        let plan = make_plan(Strategy::CapacityDriven, &files, &m, 10.0);
+        assert!((9..=11).contains(&plan.instance_count()), "{}", plan.instance_count());
+        assert_eq!(plan.total_volume(), 100_000_000);
+    }
+
+    #[test]
+    fn uniform_bins_have_equal_volumes() {
+        let m = model();
+        let files = corpus_files(100, 1_000_000);
+        let plan = make_plan(Strategy::UniformBins, &files, &m, 10.0);
+        let vols: Vec<u64> = plan.instances.iter().map(|i| i.volume).collect();
+        let max = *vols.iter().max().unwrap();
+        let min = *vols.iter().min().unwrap();
+        assert!(max - min <= 1_000_000, "{vols:?}");
+    }
+
+    #[test]
+    fn uniform_beats_capacity_driven_on_makespan() {
+        let m = model();
+        let files = corpus_files(105, 1_000_000);
+        let cap = make_plan(Strategy::CapacityDriven, &files, &m, 10.0);
+        let uni = make_plan(Strategy::UniformBins, &files, &m, 10.0);
+        assert!(uni.predicted_makespan() <= cap.predicted_makespan() + 1e-9);
+    }
+
+    #[test]
+    fn adjusted_deadline_never_plans_later() {
+        let m = model();
+        let files = corpus_files(100, 1_000_000);
+        let adj = make_plan(
+            Strategy::AdjustedDeadline { p_miss: 0.1 },
+            &files,
+            &m,
+            10.0,
+        );
+        assert!(adj.planning_deadline_secs <= adj.deadline_secs);
+        // More conservative planning can only grow the fleet.
+        let uni = make_plan(Strategy::UniformBins, &files, &m, 10.0);
+        assert!(adj.instance_count() >= uni.instance_count());
+    }
+
+    #[test]
+    fn tight_margin_forces_adjusted_fleet_growth() {
+        let m = model();
+        // Deadline exactly at capacity: uniform bins sit at the deadline,
+        // which cannot meet the adjusted deadline, so the fleet grows.
+        let files = corpus_files(100, 1_000_000);
+        let uni = make_plan(Strategy::UniformBins, &files, &m, 10.0);
+        let adj = make_plan(
+            Strategy::AdjustedDeadline { p_miss: 0.01 },
+            &files,
+            &m,
+            10.0,
+        );
+        assert!(
+            adj.instance_count() > uni.instance_count()
+                || adj.planning_deadline_secs < uni.planning_deadline_secs
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "below the model's fixed costs")]
+    fn impossible_deadline_panics() {
+        let m = model();
+        let files = corpus_files(10, 1_000_000);
+        make_plan(Strategy::CapacityDriven, &files, &m, 1.0e-9);
+    }
+}

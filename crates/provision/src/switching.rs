@@ -1,0 +1,109 @@
+//! The §3.1 slow-instance switching analysis.
+//!
+//! "If working with a slow instance with an average read speed of 60 MB/s,
+//! we could process approximately 210 GB of data if we let the instance run
+//! for the next hour. If switching to another instance that is likely fast
+//! and consistent, even when paying a penalty of 3 min for the new instance
+//! startup and EBS storage volume attachment, we would still be able to
+//! process an extra 57 GB. If the instance happens to be slow we miss
+//! processing 10 GB."
+
+use serde::{Deserialize, Serialize};
+
+/// Outcome volumes of keeping vs switching away from a slow instance.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SwitchAnalysis {
+    /// Bytes processed if we keep the slow instance for the horizon.
+    pub keep_bytes: f64,
+    /// Bytes processed if we switch and the replacement is fast.
+    pub switch_fast_bytes: f64,
+    /// Bytes processed if we switch and the replacement is slow again.
+    pub switch_slow_bytes: f64,
+    /// `switch_fast − keep` (the paper's "extra 57 GB").
+    pub gain_if_fast: f64,
+    /// `keep − switch_slow` (the paper's "miss processing 10 GB").
+    pub loss_if_slow: f64,
+    /// Probability-weighted expected gain of switching.
+    pub expected_gain: f64,
+}
+
+/// Evaluate the switch decision for an I/O-bound application.
+///
+/// * `slow_bps` / `fast_bps` — read speeds of the current (slow) and a
+///   good replacement instance;
+/// * `horizon_secs` — remaining already-paid time (the paper uses the next
+///   full hour);
+/// * `penalty_secs` — replacement boot + EBS reattach (the paper's 3 min);
+/// * `p_fast` — probability the replacement is fast.
+pub fn switch_analysis(
+    slow_bps: f64,
+    fast_bps: f64,
+    horizon_secs: f64,
+    penalty_secs: f64,
+    p_fast: f64,
+) -> SwitchAnalysis {
+    assert!((0.0..=1.0).contains(&p_fast), "p_fast must be a probability");
+    assert!(penalty_secs <= horizon_secs, "penalty exceeds the horizon");
+    let keep = slow_bps * horizon_secs;
+    let switch_fast = fast_bps * (horizon_secs - penalty_secs);
+    let switch_slow = slow_bps * (horizon_secs - penalty_secs);
+    SwitchAnalysis {
+        keep_bytes: keep,
+        switch_fast_bytes: switch_fast,
+        switch_slow_bytes: switch_slow,
+        gain_if_fast: switch_fast - keep,
+        loss_if_slow: keep - switch_slow,
+        expected_gain: p_fast * (switch_fast - keep) + (1.0 - p_fast) * (switch_slow - keep),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GB: f64 = 1.0e9;
+
+    #[test]
+    fn reproduces_paper_numbers() {
+        // 60 MB/s slow, ~80 MB/s fast, one hour, 3 min penalty.
+        let a = switch_analysis(60.0e6, 80.0e6, 3600.0, 180.0, 0.8);
+        // Paper: ≈210 GB if kept (we get 216 — the paper rounds down).
+        assert!((a.keep_bytes / GB - 216.0).abs() < 1.0);
+        // Paper: extra ≈57 GB when the replacement is fast.
+        assert!((a.gain_if_fast / GB - 57.6).abs() < 2.0, "{}", a.gain_if_fast / GB);
+        // Paper: miss ≈10 GB when the replacement is slow again.
+        assert!((a.loss_if_slow / GB - 10.8).abs() < 1.0, "{}", a.loss_if_slow / GB);
+    }
+
+    #[test]
+    fn switching_worthwhile_when_fleet_mostly_good() {
+        let a = switch_analysis(60.0e6, 80.0e6, 3600.0, 180.0, 0.8);
+        assert!(a.expected_gain > 0.0);
+    }
+
+    #[test]
+    fn switching_pointless_when_fleet_mostly_slow() {
+        let a = switch_analysis(60.0e6, 80.0e6, 3600.0, 180.0, 0.05);
+        assert!(a.expected_gain < 0.0);
+    }
+
+    #[test]
+    fn break_even_probability_is_monotone() {
+        let gain = |p: f64| switch_analysis(60.0e6, 80.0e6, 3600.0, 180.0, p).expected_gain;
+        assert!(gain(0.0) < gain(0.5));
+        assert!(gain(0.5) < gain(1.0));
+    }
+
+    #[test]
+    fn zero_penalty_makes_switching_weakly_dominant() {
+        let a = switch_analysis(60.0e6, 80.0e6, 3600.0, 0.0, 0.0);
+        assert!(a.loss_if_slow.abs() < 1e-9);
+        assert!(a.gain_if_fast > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "penalty exceeds the horizon")]
+    fn long_penalty_rejected() {
+        switch_analysis(60.0e6, 80.0e6, 100.0, 200.0, 0.5);
+    }
+}

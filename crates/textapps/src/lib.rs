@@ -1,0 +1,27 @@
+//! The two text-processing applications the paper evaluates, plus the cost
+//! models that let the cloud simulator predict their runtime on an instance.
+//!
+//! * [`grep`] — a streaming substring searcher (Boyer–Moore–Horspool core)
+//!   standing in for GNU grep 2.5.1. The paper's usage scenario is a
+//!   full-traversal worst case: searching for a nonsense dictionary word
+//!   that never matches, so the execution profile is a sequential scan.
+//! * [`pos`] — a hidden-Markov-model part-of-speech tagger with a Viterbi
+//!   decoder, lexicon and suffix guesser, standing in for the Stanford
+//!   left3words tagger. Like the paper's wrapper, it tags a *set* of files
+//!   in one process, avoiding per-file startup (the JVM analog).
+//! * [`model`] — calibrated cost models ([`GrepCostModel`],
+//!   [`PosCostModel`]) mapping (files, execution environment) to seconds;
+//!   these are what the simulator executes, and their constants are
+//!   documented against the paper's published numbers in DESIGN.md §5.
+
+pub mod grep;
+pub mod grep_multi;
+pub mod model;
+pub mod pos;
+pub mod tokenize_app;
+
+pub use grep::{Grep, GrepOutcome};
+pub use grep_multi::{MultiGrep, MultiOutcome};
+pub use model::{AppCostModel, AppKind, ExecEnv, GrepCostModel, PosCostModel};
+pub use pos::{PosTagger, Tag, TaggedWord};
+pub use tokenize_app::{TokenStats, TokenizeCostModel, Tokenizer};

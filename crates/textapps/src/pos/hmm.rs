@@ -1,0 +1,254 @@
+//! The bigram tag HMM and its Viterbi decoder.
+//!
+//! Transition weights are specified as pseudo-counts over tag bigrams from
+//! a hand-built English grammar sketch (determiners precede adjectives and
+//! nouns, pronouns precede verbs, …), normalized to log-probabilities with
+//! add-one smoothing so every transition stays reachable.
+
+use super::Tag;
+
+const N_TAGS: usize = 13;
+
+/// Transition model: `start[t]` = log P(t | sentence start),
+/// `trans[a][b]` = log P(b | a).
+#[derive(Debug, Clone)]
+pub struct Hmm {
+    /// Log start probabilities.
+    pub start: [f64; N_TAGS],
+    /// Log transition probabilities, row = previous tag.
+    pub trans: [[f64; N_TAGS]; N_TAGS],
+}
+
+fn normalize(counts: &[f64; N_TAGS]) -> [f64; N_TAGS] {
+    let total: f64 = counts.iter().map(|c| c + 1.0).sum();
+    let mut out = [0.0; N_TAGS];
+    for (o, c) in out.iter_mut().zip(counts) {
+        *o = ((c + 1.0) / total).ln();
+    }
+    out
+}
+
+impl Hmm {
+    /// The built-in English-sketch transition model.
+    pub fn builtin() -> Self {
+        use Tag::*;
+        // Pseudo-counts, sparse: (from, to, count).
+        let mut counts = [[0.0f64; N_TAGS]; N_TAGS];
+        let mut start_counts = [0.0f64; N_TAGS];
+        for &(tag, c) in &[
+            (Dt, 30.0),
+            (Prp, 20.0),
+            (Nn, 15.0),
+            (Nns, 8.0),
+            (Jj, 6.0),
+            (Rb, 5.0),
+            (In, 6.0),
+            (Cd, 3.0),
+            (Vb, 2.0),
+        ] {
+            start_counts[tag.index()] = c;
+        }
+        let edges: &[(Tag, Tag, f64)] = &[
+            // Determiner phrase
+            (Dt, Nn, 45.0),
+            (Dt, Nns, 15.0),
+            (Dt, Jj, 25.0),
+            (Dt, Cd, 5.0),
+            // Adjectives stack then hit a noun
+            (Jj, Nn, 40.0),
+            (Jj, Nns, 15.0),
+            (Jj, Jj, 8.0),
+            (Jj, In, 3.0),
+            (Jj, Punct, 6.0),
+            // Nouns take verbs, prepositions, conjunctions, punctuation
+            (Nn, Vb, 18.0),
+            (Nn, Vbd, 18.0),
+            (Nn, In, 16.0),
+            (Nn, Cc, 8.0),
+            (Nn, Punct, 18.0),
+            (Nn, Nn, 10.0),
+            (Nns, Vb, 20.0),
+            (Nns, Vbd, 18.0),
+            (Nns, In, 14.0),
+            (Nns, Cc, 8.0),
+            (Nns, Punct, 18.0),
+            // Verbs take objects, adverbs, prepositions
+            (Vb, Dt, 25.0),
+            (Vb, Nn, 10.0),
+            (Vb, Nns, 6.0),
+            (Vb, Rb, 8.0),
+            (Vb, In, 10.0),
+            (Vb, Jj, 6.0),
+            (Vb, Vbg, 6.0),
+            (Vb, Punct, 6.0),
+            (Vbd, Dt, 25.0),
+            (Vbd, Nn, 8.0),
+            (Vbd, Rb, 8.0),
+            (Vbd, In, 12.0),
+            (Vbd, Jj, 6.0),
+            (Vbd, Punct, 8.0),
+            (Vbg, Dt, 18.0),
+            (Vbg, Nn, 10.0),
+            (Vbg, In, 8.0),
+            (Vbg, Punct, 5.0),
+            // Adverbs modify verbs/adjectives
+            (Rb, Vb, 16.0),
+            (Rb, Vbd, 16.0),
+            (Rb, Jj, 10.0),
+            (Rb, Rb, 4.0),
+            (Rb, Punct, 6.0),
+            (Rb, In, 4.0),
+            // Prepositions start noun phrases
+            (In, Dt, 35.0),
+            (In, Nn, 12.0),
+            (In, Nns, 8.0),
+            (In, Jj, 6.0),
+            (In, Cd, 5.0),
+            (In, Prp, 6.0),
+            // Pronouns act like subjects
+            (Prp, Vb, 30.0),
+            (Prp, Vbd, 28.0),
+            (Prp, Rb, 5.0),
+            (Prp, Punct, 4.0),
+            // Conjunctions restart phrases
+            (Cc, Dt, 15.0),
+            (Cc, Nn, 10.0),
+            (Cc, Nns, 6.0),
+            (Cc, Jj, 6.0),
+            (Cc, Vb, 8.0),
+            (Cc, Prp, 6.0),
+            // Numbers act like determiners/adjectives
+            (Cd, Nn, 20.0),
+            (Cd, Nns, 20.0),
+            (Cd, Punct, 5.0),
+            (Cd, In, 3.0),
+            // Punctuation closes or restarts
+            (Punct, Dt, 10.0),
+            (Punct, Prp, 6.0),
+            (Punct, Nn, 6.0),
+            (Punct, Cc, 4.0),
+            (Punct, Punct, 2.0),
+        ];
+        for &(a, b, c) in edges {
+            counts[a.index()][b.index()] = c;
+        }
+        let mut trans = [[0.0; N_TAGS]; N_TAGS];
+        for (row, c) in trans.iter_mut().zip(&counts) {
+            *row = normalize(c);
+        }
+        Hmm {
+            start: normalize(&start_counts),
+            trans,
+        }
+    }
+}
+
+/// Viterbi decoding over a sentence.
+pub struct Viterbi;
+
+impl Viterbi {
+    /// Most probable state path given per-token emission log-probs.
+    /// Returns one state index per token.
+    #[allow(clippy::needless_range_loop)] // index-form is the clearest Viterbi
+    pub fn decode(hmm: &Hmm, emissions: &[[f64; N_TAGS]]) -> Vec<usize> {
+        let n = emissions.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let mut score = vec![[f64::NEG_INFINITY; N_TAGS]; n];
+        let mut back = vec![[0usize; N_TAGS]; n];
+        for s in 0..N_TAGS {
+            score[0][s] = hmm.start[s] + emissions[0][s];
+        }
+        for t in 1..n {
+            for s in 0..N_TAGS {
+                let mut best = f64::NEG_INFINITY;
+                let mut arg = 0;
+                for p in 0..N_TAGS {
+                    let v = score[t - 1][p] + hmm.trans[p][s];
+                    if v > best {
+                        best = v;
+                        arg = p;
+                    }
+                }
+                score[t][s] = best + emissions[t][s];
+                back[t][s] = arg;
+            }
+        }
+        let mut last = 0;
+        let mut best = f64::NEG_INFINITY;
+        for s in 0..N_TAGS {
+            if score[n - 1][s] > best {
+                best = score[n - 1][s];
+                last = s;
+            }
+        }
+        let mut path = vec![0usize; n];
+        path[n - 1] = last;
+        for t in (1..n).rev() {
+            path[t - 1] = back[t][path[t]];
+        }
+        path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_are_log_distributions() {
+        let hmm = Hmm::builtin();
+        let sum: f64 = hmm.start.iter().map(|l| l.exp()).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        for row in &hmm.trans {
+            let sum: f64 = row.iter().map(|l| l.exp()).sum();
+            assert!((sum - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn viterbi_follows_emissions_when_unambiguous() {
+        let hmm = Hmm::builtin();
+        let mut e = [[f64::NEG_INFINITY; N_TAGS]; 3];
+        e[0][Tag::Dt.index()] = 0.0;
+        e[1][Tag::Nn.index()] = 0.0;
+        e[2][Tag::Vbd.index()] = 0.0;
+        let path = Viterbi::decode(&hmm, e.as_ref());
+        assert_eq!(
+            path,
+            vec![Tag::Dt.index(), Tag::Nn.index(), Tag::Vbd.index()]
+        );
+    }
+
+    #[test]
+    fn viterbi_uses_transitions_to_break_emission_ties() {
+        let hmm = Hmm::builtin();
+        // Token 0: clearly DT. Token 1: emissions tie NN vs VB; DT->NN
+        // dominates DT->VB, so NN must win.
+        let mut e0 = [f64::NEG_INFINITY; N_TAGS];
+        e0[Tag::Dt.index()] = 0.0;
+        let mut e1 = [f64::NEG_INFINITY; N_TAGS];
+        e1[Tag::Nn.index()] = -1.0;
+        e1[Tag::Vb.index()] = -1.0;
+        let path = Viterbi::decode(&hmm, &[e0, e1]);
+        assert_eq!(path[1], Tag::Nn.index());
+    }
+
+    #[test]
+    fn empty_sentence() {
+        let hmm = Hmm::builtin();
+        assert!(Viterbi::decode(&hmm, &[]).is_empty());
+    }
+
+    #[test]
+    fn single_token_sentence_uses_start_probs() {
+        let hmm = Hmm::builtin();
+        // Tie between DT and VB emissions; DT has a higher start prob.
+        let mut e = [f64::NEG_INFINITY; N_TAGS];
+        e[Tag::Dt.index()] = 0.0;
+        e[Tag::Vb.index()] = 0.0;
+        let path = Viterbi::decode(&hmm, &[e]);
+        assert_eq!(path[0], Tag::Dt.index());
+    }
+}

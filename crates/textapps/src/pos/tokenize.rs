@@ -1,0 +1,133 @@
+//! Sentence splitting and tokenization.
+
+use serde::{Deserialize, Serialize};
+
+/// A token: a word, number or punctuation mark.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Token {
+    /// Surface text.
+    pub text: String,
+    /// True when the token is punctuation.
+    pub is_punct: bool,
+}
+
+/// Split `text` into sentences on `.`, `!`, `?` followed by whitespace or
+/// end of input. The terminator stays with its sentence.
+pub fn sentences(text: &str) -> Vec<&str> {
+    let bytes = text.as_bytes();
+    let mut out = Vec::new();
+    let mut start = 0usize;
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if matches!(b, b'.' | b'!' | b'?') {
+            let at_end = i + 1 >= bytes.len();
+            let before_space = !at_end && bytes[i + 1].is_ascii_whitespace();
+            if at_end || before_space {
+                let s = text[start..=i].trim();
+                if !s.is_empty() {
+                    out.push(s);
+                }
+                start = i + 1;
+            }
+        }
+        i += 1;
+    }
+    let tail = text[start..].trim();
+    if !tail.is_empty() {
+        out.push(tail);
+    }
+    out
+}
+
+/// Tokenize one sentence: maximal runs of alphanumerics (plus internal
+/// apostrophes/hyphens) become word tokens; every other non-whitespace byte
+/// becomes a single-character punctuation token.
+pub fn tokenize(sentence: &str) -> Vec<Token> {
+    let mut out = Vec::new();
+    let mut word = String::new();
+    let flush = |word: &mut String, out: &mut Vec<Token>| {
+        if !word.is_empty() {
+            out.push(Token {
+                text: std::mem::take(word),
+                is_punct: false,
+            });
+        }
+    };
+    let chars: Vec<char> = sentence.chars().collect();
+    for (i, &c) in chars.iter().enumerate() {
+        let joins_word = (c == '\'' || c == '-')
+            && !word.is_empty()
+            && chars.get(i + 1).is_some_and(|n| n.is_alphanumeric());
+        if c.is_alphanumeric() || joins_word {
+            word.push(c);
+        } else if c.is_whitespace() {
+            flush(&mut word, &mut out);
+        } else {
+            flush(&mut word, &mut out);
+            out.push(Token {
+                text: c.to_string(),
+                is_punct: true,
+            });
+        }
+    }
+    flush(&mut word, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn words(tokens: &[Token]) -> Vec<&str> {
+        tokens.iter().map(|t| t.text.as_str()).collect()
+    }
+
+    #[test]
+    fn splits_on_terminators() {
+        let s = sentences("First one. Second one! Third one? Tail without dot");
+        assert_eq!(s.len(), 4);
+        assert_eq!(s[0], "First one.");
+        assert_eq!(s[3], "Tail without dot");
+    }
+
+    #[test]
+    fn period_inside_token_not_a_boundary() {
+        let s = sentences("Version 2.5.1 works. Done.");
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0], "Version 2.5.1 works.");
+    }
+
+    #[test]
+    fn empty_and_whitespace_inputs() {
+        assert!(sentences("").is_empty());
+        assert!(sentences("   \n\t ").is_empty());
+    }
+
+    #[test]
+    fn tokenizes_words_and_punct() {
+        let t = tokenize("The cat, on a mat.");
+        assert_eq!(words(&t), vec!["The", "cat", ",", "on", "a", "mat", "."]);
+        assert!(t[2].is_punct);
+        assert!(!t[0].is_punct);
+    }
+
+    #[test]
+    fn keeps_internal_apostrophes_and_hyphens() {
+        let t = tokenize("don't well-known rock'n'roll");
+        assert_eq!(words(&t), vec!["don't", "well-known", "rock'n'roll"]);
+    }
+
+    #[test]
+    fn trailing_apostrophe_is_punct() {
+        let t = tokenize("dogs' bone");
+        assert_eq!(words(&t), vec!["dogs", "'", "bone"]);
+    }
+
+    #[test]
+    fn numbers_are_word_tokens() {
+        let t = tokenize("42 apples");
+        assert_eq!(words(&t), vec!["42", "apples"]);
+        assert!(!t[0].is_punct);
+    }
+}

@@ -1,0 +1,127 @@
+//! Property-based tests for the text engines: search agreement between
+//! the two matchers, tokenizer totality, cost-model monotonicity.
+
+use proptest::prelude::*;
+use textapps::{
+    AppCostModel, ExecEnv, Grep, GrepCostModel, MultiGrep, PosCostModel, PosTagger,
+    TokenizeCostModel, Tokenizer,
+};
+
+fn arb_text() -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(
+        prop_oneof![
+            8 => prop::sample::select(b"abcdef .".to_vec()),
+            1 => any::<u8>(),
+        ],
+        0..2_000,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn bmh_and_aho_corasick_agree_on_selfnonoverlapping_patterns(
+        hay in arb_text(),
+        pat in prop::sample::select(vec!["ab", "cde", "f ", "abc"]),
+    ) {
+        // These patterns cannot overlap themselves (no proper border), so
+        // BMH's non-overlapping count equals AC's all-occurrences count.
+        let single = Grep::new(pat).count(&hay);
+        let multi = MultiGrep::new(&[pat]).scan(&hay);
+        prop_assert_eq!(single, multi.counts[0]);
+    }
+
+    #[test]
+    fn grep_count_additive_over_concatenation_with_separator(
+        a in arb_text(),
+        b in arb_text(),
+    ) {
+        // A '\n' separator cannot take part in a match of a newline-free
+        // pattern, so counts add exactly.
+        let g = Grep::new("ab");
+        let mut joined = a.clone();
+        joined.push(b'\n');
+        joined.extend_from_slice(&b);
+        prop_assert_eq!(g.count(&joined), g.count(&a) + g.count(&b));
+    }
+
+    #[test]
+    fn grep_never_counts_more_than_possible(hay in arb_text()) {
+        let g = Grep::new("ab");
+        prop_assert!(g.count(&hay) <= hay.len() / 2);
+        let o = g.run(&hay);
+        prop_assert!(o.occurrences >= o.matching_lines);
+        prop_assert_eq!(o.bytes_scanned, hay.len() as u64);
+    }
+
+    #[test]
+    fn tokenizer_total_on_arbitrary_utf8(s in "\\PC{0,500}") {
+        // Never panics, and token counts are bounded by input length.
+        let stats = Tokenizer.run(&s);
+        prop_assert!(stats.words + stats.punct <= s.chars().count());
+        prop_assert_eq!(stats.bytes as usize, s.len());
+    }
+
+    #[test]
+    fn tagger_total_on_arbitrary_utf8(s in "\\PC{0,300}") {
+        let tagger = PosTagger::new();
+        let tagged = tagger.tag_text(&s);
+        // Every produced token carries a tag; no sentence is empty.
+        for sentence in &tagged {
+            prop_assert!(!sentence.is_empty());
+        }
+    }
+
+    #[test]
+    fn cost_models_monotone_in_volume(
+        small in 1_000u64..1_000_000,
+        extra in 1u64..1_000_000,
+    ) {
+        let env = ExecEnv::nominal();
+        let f_small = [corpus::FileSpec::new(0, small)];
+        let f_large = [corpus::FileSpec::new(0, small + extra)];
+        let grep = GrepCostModel::default();
+        let pos = PosCostModel::default();
+        let tok = TokenizeCostModel::default();
+        prop_assert!(grep.runtime_secs(&f_small, &env) < grep.runtime_secs(&f_large, &env));
+        prop_assert!(pos.runtime_secs(&f_small, &env) < pos.runtime_secs(&f_large, &env));
+        prop_assert!(tok.runtime_secs(&f_small, &env) < tok.runtime_secs(&f_large, &env));
+    }
+
+    #[test]
+    fn merging_never_slows_grep_model(
+        sizes in prop::collection::vec(1_000u64..100_000, 2..50),
+    ) {
+        // Same bytes, fewer files: the grep model must never predict a
+        // slowdown (per-file overhead only shrinks).
+        let env = ExecEnv::nominal();
+        let model = GrepCostModel::default();
+        let files: Vec<corpus::FileSpec> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| corpus::FileSpec::new(i as u64, s))
+            .collect();
+        let merged = [corpus::FileSpec::new(0, sizes.iter().sum())];
+        prop_assert!(
+            model.runtime_secs(&merged, &env) <= model.runtime_secs(&files, &env) + 1e-12
+        );
+    }
+
+    #[test]
+    fn pos_model_penalizes_merging_eventually(
+        n in 10usize..100,
+    ) {
+        // The memory penalty makes one huge file worse than many small
+        // ones of the same total (per-file cost is tiny by comparison).
+        let env = ExecEnv::nominal();
+        let model = PosCostModel::default();
+        let small: Vec<corpus::FileSpec> = (0..n as u64)
+            .map(|i| corpus::FileSpec::new(i, 500))
+            .collect();
+        let merged = [corpus::FileSpec::new(0, 500 * n as u64)];
+        prop_assert!(
+            model.runtime_secs(&merged, &env) > model.runtime_secs(&small, &env)
+        );
+    }
+}

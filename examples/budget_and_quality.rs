@@ -1,0 +1,101 @@
+//! Two provisioning extensions side by side:
+//!
+//! 1. **Budget-constrained planning** (ref [14]'s dual problem): minimize
+//!    the makespan for a fixed dollar budget;
+//! 2. **Quality-aware execution** (§7): size each instance's share by a
+//!    lightweight disk probe instead of assuming a uniform fleet.
+
+use ec2sim::{Cloud, CloudConfig};
+use perfmodel::{fit, ModelKind};
+use provision::{
+    execute_plan, execute_quality_aware, make_plan, plan_within_budget, ExecutionConfig,
+    PricingModel, QualityAwareConfig, Strategy,
+};
+use textapps::GrepCostModel;
+
+fn main() {
+    // A grep workload: 24 GB of 100 MB unit files at ~75 MB/s.
+    let files: Vec<corpus::FileSpec> = (0..240)
+        .map(|i| corpus::FileSpec::new(i, 100_000_000))
+        .collect();
+    let xs: Vec<f64> = (1..=20).map(|i| i as f64 * 1.0e8).collect();
+    let ys: Vec<f64> = xs.iter().map(|&x| 1.0 + x / 75.0e6).collect();
+    let perf = fit(ModelKind::Affine, &xs, &ys);
+    let pricing = PricingModel::default();
+
+    println!("budget sweep (24 GB grep; each instance-hour costs $0.085):");
+    println!(
+        "{:>10} {:>10} {:>18} {:>12}",
+        "budget $", "instances", "pred. makespan(s)", "pred. cost $"
+    );
+    for hours in [1u64, 2, 4, 8, 16, 32] {
+        let budget = hours as f64 * pricing.hourly_rate;
+        match plan_within_budget(&files, &perf, budget, &pricing, 64) {
+            Some(bp) => println!(
+                "{:>10.3} {:>10} {:>18.1} {:>12.3}",
+                budget,
+                bp.plan.instance_count(),
+                bp.predicted_makespan_secs,
+                bp.predicted_cost
+            ),
+            None => println!("{budget:>10.3} {:>10} {:>18} {:>12}", "-", "infeasible", "-"),
+        }
+    }
+
+    // Quality-aware vs naive on a fleet with 35 % consistently slow
+    // instances.
+    let hostile = CloudConfig {
+        seed: 99,
+        slow_fraction: 0.35,
+        inconsistent_fraction: 0.0,
+        startup_mean_s: 5.0,
+        startup_jitter_s: 0.0,
+        slow_segment_fraction: 0.0,
+        ..CloudConfig::default()
+    };
+    let deadline = 60.0;
+    let plan = make_plan(Strategy::UniformBins, &files, &perf, deadline);
+
+    let mut cloud = Cloud::new(hostile);
+    let naive = execute_plan(
+        &mut cloud,
+        &plan,
+        &GrepCostModel::default(),
+        &ExecutionConfig::default(),
+    )
+    .unwrap();
+
+    let mut cloud = Cloud::new(hostile);
+    let aware = execute_quality_aware(
+        &mut cloud,
+        &files,
+        &perf,
+        deadline,
+        &GrepCostModel::default(),
+        &ExecutionConfig::default(),
+        &QualityAwareConfig::default(),
+    )
+    .unwrap();
+
+    println!("\nquality-aware vs naive on a 35%-slow fleet (deadline {deadline:.0}s):");
+    println!(
+        "  naive uniform plan : {:>2} instances | {} misses | makespan {:>6.1}s | {} inst-h",
+        naive.runs.len(),
+        naive.misses,
+        naive.makespan_secs,
+        naive.instance_hours
+    );
+    println!(
+        "  quality-aware      : {:>2} instances | {} misses | makespan {:>6.1}s | {} inst-h | {} rejected by probe",
+        aware.execution.runs.len(),
+        aware.execution.misses,
+        aware.execution.makespan_secs,
+        aware.execution.instance_hours,
+        aware.rejected
+    );
+    println!(
+        "\ntakeaway: measuring each instance first ({}x ~2.7s disk probes) lets slow-but-usable\n\
+         instances carry less data instead of missing the deadline — the paper's §7 idea.",
+        aware.execution.runs.len() + aware.rejected
+    );
+}

@@ -1,0 +1,88 @@
+//! Dynamic rescheduling (§7 future work, implemented): monitor per-batch
+//! progress, terminate laggard instances, reattach their EBS volume to a
+//! replacement — no data transfer. Compares static and dynamic execution
+//! of the same plan on fleets with a growing share of slow instances.
+
+use ec2sim::{Cloud, CloudConfig};
+use perfmodel::{fit, ModelKind};
+use provision::{
+    execute_plan, make_plan, DynamicConfig, ExecutionConfig, Strategy,
+};
+use textapps::GrepCostModel;
+
+fn main() {
+    // Model matched to a good instance: 75 MB/s plus a 1 s startup.
+    let xs: Vec<f64> = (1..=20).map(|i| i as f64 * 1.0e8).collect();
+    let ys: Vec<f64> = xs.iter().map(|&x| 1.0 + x / 75.0e6).collect();
+    let perf = fit(ModelKind::Affine, &xs, &ys);
+
+    let files: Vec<corpus::FileSpec> = (0..80)
+        .map(|i| corpus::FileSpec::new(i, 100_000_000))
+        .collect(); // 8 GB
+    let plan = make_plan(Strategy::UniformBins, &files, &perf, 40.0);
+    println!(
+        "plan: {} instances x {:.1} GB, deadline 40s",
+        plan.instance_count(),
+        plan.instances[0].volume as f64 / 1e9
+    );
+
+    let exec_cfg = ExecutionConfig::default();
+    let dyn_cfg = DynamicConfig {
+        batches: 6,
+        slowdown_threshold: 1.3,
+        max_replacements: 3,
+    };
+
+    println!(
+        "\n{:>10} {:>16} {:>16} {:>13} {:>8}",
+        "slow frac", "static makespan", "dynamic makespan", "replacements", "winner"
+    );
+    for slow in [0.0, 0.2, 0.4, 0.6] {
+        let mut static_span = 0.0;
+        let mut dynamic_span = 0.0;
+        let mut replacements = 0;
+        let fleets = 10;
+        for seed in 0..fleets {
+            let config = CloudConfig {
+                seed: 9000 + seed,
+                slow_fraction: slow,
+                inconsistent_fraction: 0.0,
+                startup_mean_s: 5.0,
+                startup_jitter_s: 0.0,
+                slow_segment_fraction: 0.0,
+                ..CloudConfig::default()
+            };
+            let mut cloud = Cloud::new(config);
+            static_span += execute_plan(&mut cloud, &plan, &GrepCostModel::default(), &exec_cfg)
+                .unwrap()
+                .makespan_secs;
+            let mut cloud = Cloud::new(config);
+            let d = provision::dynamic::execute_dynamic(
+                &mut cloud,
+                &plan,
+                &GrepCostModel::default(),
+                &perf,
+                &exec_cfg,
+                &dyn_cfg,
+            )
+            .unwrap();
+            dynamic_span += d.execution.makespan_secs;
+            replacements += d.replacements;
+        }
+        let s = static_span / fleets as f64;
+        let d = dynamic_span / fleets as f64;
+        println!(
+            "{:>10.1} {:>16.1} {:>16.1} {:>13.1} {:>8}",
+            slow,
+            s,
+            d,
+            replacements as f64 / fleets as f64,
+            if d < s { "dynamic" } else { "static" }
+        );
+    }
+    println!(
+        "\ntakeaway: monitoring costs a few seconds per batch on clean fleets, but once\n\
+         slow instances appear, EBS-reattach failover wins back the lost makespan\n\
+         without any data transfer (§7's argument)."
+    );
+}

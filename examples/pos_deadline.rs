@@ -1,0 +1,92 @@
+//! Deadline-constrained POS tagging (§5.2): compare the three provisioning
+//! strategies on the Text_400K corpus for a one-hour deadline, and tag a
+//! couple of real documents with the HMM tagger along the way.
+
+use ec2sim::{acquire_good_instance, Cloud, CloudConfig, DataLocation};
+use perfmodel::{fit, ModelKind};
+use provision::{execute_plan, make_plan, ExecutionConfig, StagingTier, Strategy};
+use textapps::{PosCostModel, PosTagger};
+
+fn main() {
+    // Tag real text first — the engine is not a prop.
+    let tagger = PosTagger::new();
+    let sample = corpus::text_bytes(7, &corpus::FileSpec::new(1, 400));
+    let tagged = tagger.tag_text(&String::from_utf8(sample).unwrap());
+    println!("real tagger on a generated doc:");
+    for sentence in tagged.iter().take(2) {
+        let rendered: Vec<String> = sentence
+            .iter()
+            .map(|w| format!("{}/{:?}", w.word, w.tag))
+            .collect();
+        println!("  {}", rendered.join(" "));
+    }
+
+    // Calibrate a model from corpus-prefix probes (the paper's Eq (3)).
+    let manifest = corpus::text_400k(0.25, 2008); // 100 000 files, ~260 MB
+    let mut cloud = Cloud::new(CloudConfig {
+        seed: 7,
+        ..CloudConfig::default()
+    });
+    let (inst, _) = acquire_good_instance(
+        &mut cloud,
+        ec2sim::InstanceType::Small,
+        ec2sim::AvailabilityZone::us_east_1a(),
+        &Default::default(),
+    )
+    .unwrap();
+    let model = PosCostModel::default();
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for mb in [1u64, 2, 5, 10, 20] {
+        let subset = manifest.prefix_by_volume(mb * 1_000_000);
+        for _ in 0..5 {
+            let r = cloud
+                .run_app(inst, &model, &subset.files, DataLocation::Local)
+                .unwrap();
+            xs.push(subset.total_volume() as f64);
+            ys.push(r.observed_secs);
+        }
+    }
+    cloud.terminate(inst).unwrap();
+    let perf = fit(ModelKind::Affine, &xs, &ys);
+    println!(
+        "\nperformance model: t(x) = {:.2} + {:.3e}*x (R^2 {:.4})",
+        perf.b, perf.a, perf.r2
+    );
+
+    let deadline = 3600.0;
+    println!("\nstrategy comparison, deadline {deadline:.0}s:");
+    for (label, strategy) in [
+        ("capacity-driven first fit", Strategy::CapacityDriven),
+        ("uniform bins            ", Strategy::UniformBins),
+        (
+            "adjusted deadline p=0.1 ",
+            Strategy::AdjustedDeadline { p_miss: 0.1 },
+        ),
+    ] {
+        let plan = make_plan(strategy, &manifest.files, &perf, deadline);
+        let mut fleet = Cloud::new(CloudConfig {
+            seed: 70,
+            homogeneous: true,
+            ..CloudConfig::default()
+        });
+        let report = execute_plan(
+            &mut fleet,
+            &plan,
+            &model,
+            &ExecutionConfig {
+                staging: StagingTier::Local,
+                stage_in_secs: 30.0,
+                ..ExecutionConfig::default()
+            },
+        )
+        .unwrap();
+        println!(
+            "  {label}: {:>2} instances | {:>2} inst-h | {} misses | makespan {:>6.0}s",
+            report.runs.len(),
+            report.instance_hours,
+            report.misses,
+            report.makespan_secs
+        );
+    }
+}

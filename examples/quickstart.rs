@@ -1,0 +1,59 @@
+//! Quickstart: reshape a small-file corpus and plan a deadline-constrained
+//! run on the simulated cloud — the whole paper in ~40 lines.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use reshape::{App, Pipeline, PipelineConfig, ProbeCampaign, Workload};
+
+fn main() {
+    // A slice of the HTML_18mil-shaped corpus: ~9 000 files, ~0.4 GB.
+    let manifest = corpus::html_18mil(0.0005, 42);
+    println!(
+        "corpus: {} files, {} bytes, mean file {:.0} B",
+        manifest.len(),
+        manifest.total_volume(),
+        manifest.mean_file_size()
+    );
+
+    // Search for a nonsense word (the paper's worst-case full traversal).
+    let workload = Workload::new(manifest, App::grep("zxqvphantasm"));
+
+    let report = Pipeline::new(PipelineConfig {
+        deadline_secs: 20.0,
+        probe: ProbeCampaign {
+            v0: 5_000_000,
+            max_volume: 300_000_000,
+            repeats: 5,
+            ..ProbeCampaign::default()
+        },
+        ..PipelineConfig::default()
+    })
+    .run(&workload)
+    .expect("pipeline run");
+
+    println!("chosen unit size: {:?}", report.unit);
+    println!(
+        "reshape: {} files -> {} unit files ({:.0}x merge, mean fill {:.2})",
+        report.reshape.original_files,
+        report.reshape.files.len(),
+        report.reshape.merge_ratio(),
+        report.reshape.stats.mean_fill
+    );
+    println!(
+        "model: t(x) = {:.3} + {:.3e}*x  (R^2 = {:.4})",
+        report.fit.b, report.fit.a, report.fit.r2
+    );
+    println!(
+        "plan: {} instances, predicted makespan {:.1}s for a {:.0}s deadline",
+        report.planned_instances, report.predicted_makespan_secs, report.execution.deadline_secs
+    );
+    println!(
+        "execution: makespan {:.1}s, {} misses, {} instance-hours, ${:.3}",
+        report.execution.makespan_secs,
+        report.execution.misses,
+        report.execution.instance_hours,
+        report.execution.cost
+    );
+}

@@ -1,0 +1,60 @@
+//! Spot instances vs on-demand (§1.1): "this is advantageous when time is
+//! less important of a consideration than cost". Sweep the bid on a
+//! simulated spot market and compare cost and completion time against the
+//! flat-rate on-demand plan for the same POS workload.
+
+use ec2sim::{SpotMarket, SpotRequest};
+use provision::{cost_for_deadline, PricingModel};
+
+fn main() {
+    // One day of 5-minute spot prices, mean $0.04/h (on-demand: $0.085/h).
+    let market = SpotMarket::generate(2010, 288, 0.04, 0.004, 300.0);
+    let mean_price = market.prices().iter().sum::<f64>() / market.prices().len() as f64;
+    println!(
+        "spot market: {} steps, mean ${:.4}/h, range ${:.4}-{:.4}/h",
+        market.prices().len(),
+        mean_price,
+        market.prices().iter().cloned().fold(f64::INFINITY, f64::min),
+        market.prices().iter().cloned().fold(0.0f64, f64::max),
+    );
+
+    // Workload: ~20 instance-hours of POS tagging on one resumable worker.
+    let work_secs = 20.0 * 3600.0;
+    let pricing = PricingModel::default();
+    let on_demand = cost_for_deadline(&pricing, work_secs / 3600.0, 24.0);
+    println!(
+        "\non-demand baseline: {:.0}h of work -> ${:.3} (flat ${}/h)",
+        work_secs / 3600.0,
+        on_demand,
+        pricing.hourly_rate
+    );
+
+    println!("\nbid sweep (resume penalty 120s after each interruption):");
+    println!(
+        "{:>10} {:>12} {:>14} {:>13} {:>9}",
+        "bid $/h", "completed", "wall-clock(h)", "interruptions", "cost $"
+    );
+    for bid in [0.020, 0.035, 0.040, 0.045, 0.055, 0.085] {
+        let outcome = market.execute(&SpotRequest {
+            bid,
+            work_secs,
+            resume_penalty_secs: 120.0,
+        });
+        println!(
+            "{:>10.3} {:>12} {:>14} {:>13} {:>9.3}",
+            bid,
+            outcome.completed_at.is_some(),
+            outcome
+                .completed_at
+                .map(|t| format!("{:.1}", t / 3600.0))
+                .unwrap_or_else(|| "-".into()),
+            outcome.interruptions,
+            outcome.cost
+        );
+    }
+    println!(
+        "\ntakeaway: bids above the market mean finish with large savings vs on-demand;\n\
+         marginal bids trade wall-clock (interruptions) for cost — exactly why the paper\n\
+         sticks to on-demand when a deadline must be met."
+    );
+}

@@ -1,0 +1,92 @@
+//! A multi-stage text-processing workflow (§7 future work, implemented):
+//! tokenize the corpus, POS-tag the tokens, then grep the tagged output —
+//! scheduled with full-hour subdeadlines per stage, then each stage's plan
+//! evaluated against Monte-Carlo fleets before committing.
+
+use perfmodel::{fit, ModelKind};
+use provision::{
+    evaluate_plan, schedule_workflow, ExecutionConfig, PricingModel, Stage, StagingTier,
+};
+use textapps::{GrepCostModel, PosCostModel, TokenizeCostModel};
+
+/// Build a Fit for a cost model by sampling it at a few volumes (what the
+/// probe campaign would produce on a clean instance).
+fn fit_of(model: &dyn textapps::AppCostModel) -> perfmodel::Fit {
+    let env = textapps::ExecEnv::nominal();
+    let xs: Vec<f64> = (1..=8).map(|i| i as f64 * 50.0e6).collect();
+    let ys: Vec<f64> = xs
+        .iter()
+        .map(|&x| model.runtime_secs(&[corpus::FileSpec::new(0, x as u64)], &env))
+        .collect();
+    fit(ModelKind::Affine, &xs, &ys)
+}
+
+fn main() {
+    let corpus = corpus::text_400k(0.5, 2008); // 200k files, ~0.5 GB
+    println!(
+        "input: {} files, {:.2} GB",
+        corpus.len(),
+        corpus.total_volume() as f64 / 1e9
+    );
+
+    let stages = vec![
+        Stage {
+            name: "tokenize".into(),
+            fit: fit_of(&TokenizeCostModel::default()),
+            volume_factor: 0.85, // tokens without markup
+        },
+        Stage {
+            name: "pos-tag".into(),
+            fit: fit_of(&PosCostModel::default()),
+            volume_factor: 1.4, // tags inflate the text
+        },
+        Stage {
+            name: "grep-tagged".into(),
+            fit: fit_of(&GrepCostModel::default()),
+            volume_factor: 0.01, // matches only
+        },
+    ];
+
+    let deadline = 14.0 * 3600.0;
+    let schedule = schedule_workflow(&stages, &corpus.files, deadline, &PricingModel::default())
+        .expect("workflow schedulable");
+
+    println!(
+        "\nschedule (deadline {:.0}h, used {:.0}h):",
+        deadline / 3600.0,
+        schedule.total_deadline_secs / 3600.0
+    );
+    for sp in &schedule.stages {
+        println!(
+            "  {:12} {:>6.2} GB in | {:>2.0}h subdeadline | {:>3} instances | predicted makespan {:>6.0}s",
+            sp.name,
+            sp.input_volume as f64 / 1e9,
+            sp.subdeadline_secs / 3600.0,
+            sp.plan.instance_count(),
+            sp.plan.predicted_makespan()
+        );
+    }
+    println!("predicted total cost: ${:.2}", schedule.predicted_cost);
+
+    // Monte-Carlo check of the riskiest stage (the tagger) before buying.
+    let tag = &schedule.stages[1];
+    let dist = evaluate_plan(
+        &tag.plan,
+        &PosCostModel::default(),
+        &ExecutionConfig {
+            staging: StagingTier::Local,
+            ..ExecutionConfig::default()
+        },
+        ec2sim::CloudConfig {
+            homogeneous: true,
+            ..ec2sim::CloudConfig::default()
+        },
+        2026,
+        24,
+    );
+    println!(
+        "\npos-tag stage over 24 simulated fleets: P(meet subdeadline) = {:.2}, \
+         mean makespan {:.0}s, p95 {:.0}s, mean cost ${:.2}",
+        dist.p_meet_deadline, dist.mean_makespan, dist.p95_makespan, dist.mean_cost
+    );
+}

@@ -1,0 +1,8 @@
+//! `corpus-reshape` — the workspace facade crate.
+//!
+//! Re-exports the [`reshape`] pipeline API so downstream users can depend
+//! on a single crate; the root package also hosts the runnable examples
+//! (`examples/`) and the cross-crate integration tests (`tests/`). See the
+//! workspace README for the full architecture.
+
+pub use reshape::*;

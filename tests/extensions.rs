@@ -1,0 +1,159 @@
+//! Integration tests for the future-work extensions (§7 and refs [14],
+//! [22]): weighted fitting, budget planning, quality-aware execution,
+//! workflow subdeadlines, Monte-Carlo evaluation, multi-pattern grep.
+
+use ec2sim::{Cloud, CloudConfig, TransferKind, TransferPricing};
+use perfmodel::{fit, fit_weighted, volume_weights, Fit, ModelKind};
+use provision::{
+    evaluate_plan, execute_quality_aware, make_plan, plan_within_budget, schedule_workflow,
+    ExecutionConfig, PricingModel, QualityAwareConfig, Stage, Strategy,
+};
+use textapps::{GrepCostModel, MultiGrep};
+
+fn grep_fit() -> Fit {
+    let xs: Vec<f64> = (1..=20).map(|i| i as f64 * 1.0e8).collect();
+    let ys: Vec<f64> = xs.iter().map(|&x| 1.0 + x / 75.0e6).collect();
+    fit(ModelKind::Affine, &xs, &ys)
+}
+
+fn unit_files(n: u64) -> Vec<corpus::FileSpec> {
+    (0..n).map(|i| corpus::FileSpec::new(i, 100_000_000)).collect()
+}
+
+#[test]
+fn budget_and_deadline_planning_are_duals() {
+    // Plan for a deadline, price it, then plan for that price: the budget
+    // plan must be at least as fast as the deadline plan promised.
+    let f = grep_fit();
+    let files = unit_files(120); // 12 GB
+    let pricing = PricingModel::default();
+    let deadline_plan = make_plan(Strategy::UniformBins, &files, &f, 30.0);
+    let price: f64 = deadline_plan
+        .instances
+        .iter()
+        .map(|i| provision::instance_hours(i.predicted_secs) as f64 * pricing.hourly_rate)
+        .sum();
+    let budget_plan = plan_within_budget(&files, &f, price, &pricing, 128).unwrap();
+    assert!(budget_plan.predicted_makespan_secs <= 30.0 + 1e-6);
+    assert!(budget_plan.predicted_cost <= price + 1e-9);
+}
+
+#[test]
+fn weighted_fit_composes_with_planning() {
+    // A weighted fit is a Fit like any other: plan with it.
+    let xs: Vec<f64> = (1..=20).map(|i| i as f64 * 1.0e8).collect();
+    let ys: Vec<f64> = xs.iter().map(|&x| 1.0 + x / 75.0e6).collect();
+    let wf = fit_weighted(ModelKind::Affine, &xs, &ys, &volume_weights(&xs));
+    let plan = make_plan(Strategy::UniformBins, &unit_files(40), &wf, 20.0);
+    assert!(plan.instance_count() >= 2);
+    assert!(plan.predicted_feasible());
+}
+
+#[test]
+fn quality_aware_execution_covers_and_reports() {
+    let mut cloud = Cloud::new(CloudConfig {
+        seed: 5,
+        slow_fraction: 0.3,
+        slow_segment_fraction: 0.0,
+        startup_mean_s: 5.0,
+        startup_jitter_s: 0.0,
+        ..CloudConfig::default()
+    });
+    let files = unit_files(80);
+    let report = execute_quality_aware(
+        &mut cloud,
+        &files,
+        &grep_fit(),
+        60.0,
+        &GrepCostModel::default(),
+        &ExecutionConfig::default(),
+        &QualityAwareConfig::default(),
+    )
+    .unwrap();
+    let total: u64 = report.execution.runs.iter().map(|r| r.volume).sum();
+    assert_eq!(total, 8_000_000_000);
+    assert_eq!(report.measured_mbps.len(), report.execution.runs.len());
+}
+
+#[test]
+fn workflow_schedule_end_to_end_executes() {
+    // Schedule a two-stage workflow and actually execute stage one.
+    let stages = vec![
+        Stage {
+            name: "grep-pass".into(),
+            fit: grep_fit(),
+            volume_factor: 0.02,
+        },
+        Stage {
+            name: "grep-matches".into(),
+            fit: grep_fit(),
+            volume_factor: 1.0,
+        },
+    ];
+    let files = unit_files(40);
+    let schedule =
+        schedule_workflow(&stages, &files, 2.0 * 3600.0, &PricingModel::default()).unwrap();
+    assert_eq!(schedule.stages.len(), 2);
+    let mut cloud = Cloud::new(CloudConfig::ideal(9));
+    let report = provision::execute_plan(
+        &mut cloud,
+        &schedule.stages[0].plan,
+        &GrepCostModel::default(),
+        &ExecutionConfig::default(),
+    )
+    .unwrap();
+    assert!(report.met_deadline());
+}
+
+#[test]
+fn montecarlo_distribution_is_sane() {
+    let plan = make_plan(Strategy::UniformBins, &unit_files(40), &grep_fit(), 25.0);
+    let dist = evaluate_plan(
+        &plan,
+        &GrepCostModel::default(),
+        &ExecutionConfig::default(),
+        CloudConfig::default(),
+        3,
+        12,
+    );
+    assert_eq!(dist.fleets, 12);
+    assert!((0.0..=1.0).contains(&dist.p_meet_deadline));
+    assert!(dist.p95_makespan + 1e-9 >= dist.mean_makespan * 0.8);
+    assert!(dist.mean_cost > 0.0);
+}
+
+#[test]
+fn multigrep_dictionary_over_real_corpus_bytes() {
+    // One traversal answering many dictionary queries at once.
+    let m = corpus::text_400k(0.0002, 44);
+    let dictionary = ["ka", "ti", "zxqv", "mar", "qqqq"];
+    let multi = MultiGrep::new(&dictionary);
+    let mut totals = vec![0usize; dictionary.len()];
+    for f in m.files.iter().take(30) {
+        let bytes = corpus::text_bytes(m.seed, f);
+        let o = multi.scan(&bytes);
+        for (t, c) in totals.iter_mut().zip(&o.counts) {
+            *t += c;
+        }
+    }
+    // Common syllables occur, nonsense words do not.
+    assert!(totals[0] > 0 && totals[1] > 0 && totals[3] > 0);
+    assert_eq!(totals[2], 0);
+    assert_eq!(totals[4], 0);
+}
+
+#[test]
+fn transfer_cost_constant_across_reshaping() {
+    // §1's claim, end to end: reshaping changes file counts, not transfer
+    // dollars.
+    let m = corpus::html_18mil(0.0002, 45);
+    let merged = reshape::reshape_manifest(&m, perfmodel::UnitSize::Bytes(50_000_000));
+    let p = TransferPricing::default();
+    let bytes_orig: u64 = m.files.iter().map(|f| f.size).sum();
+    let bytes_merged: u64 = merged.files.iter().map(|f| f.size).sum();
+    assert_eq!(
+        p.cost(TransferKind::IngressFromInternet, bytes_orig),
+        p.cost(TransferKind::IngressFromInternet, bytes_merged)
+    );
+    assert!(merged.files.len() < m.files.len() / 10);
+}

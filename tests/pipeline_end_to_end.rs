@@ -1,0 +1,134 @@
+//! Full-pipeline integration tests spanning every crate: corpus → probes →
+//! packing → model → plan → simulated fleet.
+
+use reshape::{
+    App, ModelKind, Pipeline, PipelineConfig, ProbeCampaign, StagingTier, Strategy, UnitSize,
+    Workload,
+};
+
+fn grep_config() -> PipelineConfig {
+    PipelineConfig {
+        deadline_secs: 10.0,
+        probe: ProbeCampaign {
+            v0: 5_000_000,
+            growth: 5,
+            max_volume: 400_000_000,
+            repeats: 3,
+            s0: 1_000_000,
+            factors: vec![10, 100],
+            stability_cv: 0.25,
+            min_sets: 3,
+        },
+        ..PipelineConfig::default()
+    }
+}
+
+#[test]
+fn grep_pipeline_reproduces_headline_behaviour() {
+    let manifest = corpus::html_18mil(0.001, 21);
+    let original_volume = manifest.total_volume();
+    let workload = Workload::new(manifest, App::grep("zxqv"));
+    let report = Pipeline::new(grep_config()).run(&workload).unwrap();
+
+    // Grep must prefer merged units over the original tiny files...
+    assert!(matches!(report.unit, UnitSize::Bytes(b) if b >= 10_000_000));
+    // ...conserving the corpus volume through the reshape...
+    let reshaped_volume: u64 = report.reshape.files.iter().map(|f| f.size).sum();
+    assert_eq!(reshaped_volume, original_volume);
+    // ...with a usable linear model...
+    assert!(report.fit.r2 > 0.9, "r2 {}", report.fit.r2);
+    assert!(report.fit.a > 0.0);
+    // ...and a fleet whose billed cost follows the flat-rate scheme.
+    assert!(
+        (report.execution.cost - report.execution.instance_hours as f64 * 0.085).abs() < 1e-9
+    );
+    assert_eq!(report.execution.runs.len(), report.planned_instances);
+}
+
+#[test]
+fn pos_pipeline_keeps_original_segmentation_and_meets_deadline() {
+    let manifest = corpus::text_400k(0.01, 22); // 4 000 files, ~10 MB
+    let workload = Workload::new(manifest, App::pos());
+    let config = PipelineConfig {
+        deadline_secs: 600.0,
+        staging: StagingTier::Local,
+        probe: ProbeCampaign {
+            v0: 1_000_000,
+            growth: 3,
+            max_volume: 10_000_000,
+            repeats: 3,
+            s0: 10_000,
+            factors: vec![10, 100],
+            stability_cv: 0.25,
+            min_sets: 2,
+        },
+        ..PipelineConfig::default()
+    };
+    let report = Pipeline::new(config).run(&workload).unwrap();
+    assert_eq!(report.unit, UnitSize::Original);
+    // POS work: ~10 MB at ~80 µs/B ≈ 800 s -> at least 2 instances.
+    assert!(report.planned_instances >= 2);
+    assert!(
+        report.execution.misses <= report.planned_instances / 2,
+        "most instances should meet a comfortable deadline ({} misses of {})",
+        report.execution.misses,
+        report.planned_instances
+    );
+}
+
+#[test]
+fn strategies_order_sanely_on_same_workload() {
+    let manifest = corpus::html_18mil(0.001, 23);
+    let workload = Workload::new(manifest, App::grep("zxqv"));
+    let run = |strategy: Strategy| {
+        let mut config = grep_config();
+        config.strategy = strategy;
+        Pipeline::new(config).run(&workload).unwrap()
+    };
+    let capacity = run(Strategy::CapacityDriven);
+    let uniform = run(Strategy::UniformBins);
+    let adjusted = run(Strategy::AdjustedDeadline { p_miss: 0.1 });
+    // Uniform never uses more instances than capacity-driven +1 and its
+    // predicted makespan is no worse.
+    assert!(uniform.planned_instances <= capacity.planned_instances + 1);
+    assert!(uniform.predicted_makespan_secs <= capacity.predicted_makespan_secs + 1e-9);
+    // The adjusted plan is at least as conservative as uniform.
+    assert!(adjusted.planned_instances >= uniform.planned_instances);
+}
+
+#[test]
+fn model_selection_prefers_good_families() {
+    let manifest = corpus::html_18mil(0.001, 24);
+    let workload = Workload::new(manifest, App::grep("zxqv"));
+    let mut config = grep_config();
+    config.selection = reshape::ModelSelection::BestR2; // across all five families
+    let report = Pipeline::new(config).run(&workload).unwrap();
+    assert!(report.fit.r2 > 0.9);
+    // Grep is linear in volume; exponential would be a pathological pick.
+    assert_ne!(report.fit.kind, ModelKind::Exponential);
+}
+
+#[test]
+fn cross_validated_weighted_selection_works_end_to_end() {
+    let manifest = corpus::html_18mil(0.001, 26);
+    let workload = Workload::new(manifest, App::grep("zxqv"));
+    let mut config = grep_config();
+    config.selection = reshape::ModelSelection::CrossValidated;
+    config.weighting = reshape::FitWeighting::Volume;
+    let report = Pipeline::new(config).run(&workload).unwrap();
+    assert_ne!(report.fit.kind, ModelKind::Exponential);
+    assert!(report.fit.a > 0.0);
+    assert!(!report.execution.runs.is_empty());
+}
+
+#[test]
+fn same_seed_same_everything() {
+    let manifest = corpus::html_18mil(0.0005, 25);
+    let workload = Workload::new(manifest, App::grep("zxqv"));
+    let a = Pipeline::new(grep_config()).run(&workload).unwrap();
+    let b = Pipeline::new(grep_config()).run(&workload).unwrap();
+    assert_eq!(a.unit, b.unit);
+    assert_eq!(a.planned_instances, b.planned_instances);
+    assert_eq!(a.execution.makespan_secs, b.execution.makespan_secs);
+    assert_eq!(a.execution.cost, b.execution.cost);
+}

@@ -1,0 +1,90 @@
+//! The applications are real, not props: run the grep engine and the POS
+//! tagger over actually materialized corpus bytes.
+
+use textapps::{Grep, PosTagger, Tag};
+
+#[test]
+fn grep_scans_a_materialized_html_corpus() {
+    let m = corpus::html_18mil(0.00002, 31); // 360 virtual files
+    let grep = Grep::new("zxqvnonsense");
+    let mut scanned = 0u64;
+    let mut occurrences = 0usize;
+    for f in m.files.iter().take(50) {
+        let bytes = corpus::html_bytes(m.seed, f);
+        assert_eq!(bytes.len() as u64, f.size);
+        let out = grep.run(&bytes);
+        scanned += out.bytes_scanned;
+        occurrences += out.occurrences;
+    }
+    assert!(scanned > 500_000, "scanned only {scanned} bytes");
+    assert_eq!(occurrences, 0, "nonsense word must not occur");
+}
+
+#[test]
+fn grep_finds_planted_needles() {
+    let m = corpus::text_400k(0.0001, 32);
+    let f = &m.files[0];
+    let mut bytes = corpus::text_bytes(m.seed, f);
+    let needle = b"zxqvneedle";
+    // Plant three occurrences.
+    for pos in [10usize, bytes.len() / 2, bytes.len() - 20] {
+        let end = (pos + needle.len()).min(bytes.len());
+        bytes[pos..end].copy_from_slice(&needle[..end - pos]);
+    }
+    let grep = Grep::new("zxqvneedle");
+    assert_eq!(grep.count(&bytes), 3);
+}
+
+#[test]
+fn tagger_processes_a_generated_document_set() {
+    let m = corpus::text_400k(0.0001, 33); // 40 files
+    let tagger = PosTagger::new();
+    let docs: Vec<String> = m
+        .files
+        .iter()
+        .take(10)
+        .map(|f| String::from_utf8(corpus::text_bytes(m.seed, f)).unwrap())
+        .collect();
+    let summary = tagger.tag_documents(docs.iter().map(|d| d.as_str()));
+    assert_eq!(summary.documents, 10);
+    assert!(summary.sentences > 10);
+    assert!(summary.words > 200);
+}
+
+#[test]
+fn tagger_assigns_every_token_a_tag() {
+    let tagger = PosTagger::new();
+    let text = "The quick brown fox jumps over the lazy dog. It was quickly running.";
+    let tagged = tagger.tag_text(text);
+    assert_eq!(tagged.len(), 2);
+    let words: usize = tagged.iter().map(|s| s.len()).sum();
+    assert_eq!(words, 10 + 5); // tokens incl. the two periods
+    // Spot checks across both sentence boundaries.
+    assert_eq!(tagged[0][0].tag, Tag::Dt);
+    assert_eq!(tagged[1][0].tag, Tag::Prp);
+    assert_eq!(tagged[1][2].tag, Tag::Rb); // quickly
+}
+
+#[test]
+fn book_experiment_matches_paper_ratio() {
+    // Dubliners vs Agnes Grey: matched sizes, ~1.7x model-predicted gap.
+    let d = corpus::dubliners_like(1);
+    let a = corpus::agnes_grey_like(1);
+    let model = textapps::PosCostModel::default();
+    let env = textapps::ExecEnv::nominal();
+    let td = textapps::AppCostModel::runtime_secs(&model, &[d.as_file_spec(0)], &env);
+    let ta = textapps::AppCostModel::runtime_secs(&model, &[a.as_file_spec(1)], &env);
+    let ratio = (td - env.startup_s) / (ta - env.startup_s);
+    assert!(
+        (1.5..2.0).contains(&ratio),
+        "complexity ratio {ratio} outside the paper's ballpark (1.72)"
+    );
+    // And the real tagger can chew through both.
+    let tagger = PosTagger::new();
+    let sd = tagger.tag_text(&d.text);
+    let sa = tagger.tag_text(&a.text);
+    assert!(sd.len() > 1_000 && sa.len() > 1_000);
+    // Complex text => longer sentences => fewer sentences for the same
+    // word count.
+    assert!(sd.len() < sa.len());
+}

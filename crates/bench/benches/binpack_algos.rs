@@ -8,10 +8,7 @@ use std::hint::black_box;
 
 fn corpus_items(n: usize) -> Vec<Item> {
     let m = corpus::html_18mil(n as f64 / 18_000_000.0, 77);
-    m.files
-        .iter()
-        .map(|f| Item::new(f.id, f.size))
-        .collect()
+    m.files.iter().map(|f| Item::new(f.id, f.size)).collect()
 }
 
 fn bench_algorithms(c: &mut Criterion) {

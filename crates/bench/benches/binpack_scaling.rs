@@ -1,0 +1,71 @@
+//! Scaling study for the packing kernels: the index-structure versions
+//! (`subset_sum_first_fit`, `first_fit`, `best_fit`) from 10³ to 10⁶
+//! corpus-shaped items, against the quadratic `naive_*` references where
+//! those stay feasible. The fast kernels are what lets the reshape step
+//! handle paper-size corpora (18M files) — see `DESIGN.md` §3.
+
+use binpack::{
+    best_fit, first_fit, naive_best_fit, naive_first_fit, naive_subset_sum_first_fit,
+    subset_sum_first_fit, Item, Packing,
+};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+/// Unit-file capacity used throughout: 10 MB over ~37 kB mean HTML files,
+/// i.e. a few hundred items per bin, the regime the paper reshapes into.
+const CAPACITY: u64 = 10_000_000;
+
+type Kernel = fn(&[Item], u64) -> Packing;
+
+const FAST: [(&str, Kernel); 3] = [
+    ("subset_sum_first_fit", subset_sum_first_fit),
+    ("first_fit", first_fit),
+    ("best_fit", best_fit),
+];
+
+const NAIVE: [(&str, Kernel); 3] = [
+    ("naive_subset_sum_first_fit", naive_subset_sum_first_fit),
+    ("naive_first_fit", naive_first_fit),
+    ("naive_best_fit", naive_best_fit),
+];
+
+fn corpus_items(n: usize) -> Vec<Item> {
+    let m = corpus::html_18mil(n as f64 / 18_000_000.0, 77);
+    m.files.iter().map(|f| Item::new(f.id, f.size)).collect()
+}
+
+fn bench_fast_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pack_scaling_fast");
+    for n in [1_000usize, 10_000, 100_000, 1_000_000] {
+        let items = corpus_items(n);
+        group.throughput(Throughput::Elements(n as u64));
+        group.sample_size(if n >= 100_000 { 3 } else { 10 });
+        for (name, kernel) in FAST {
+            group.bench_with_input(BenchmarkId::new(name, n), &items, |b, items| {
+                b.iter(|| black_box(kernel(black_box(items), CAPACITY)))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_naive_scaling(c: &mut Criterion) {
+    // The quadratic references stop at 10⁴ items here; beyond that a single
+    // invocation takes seconds-to-minutes and belongs in `perf_report`
+    // (one timed run each), not in a repeated-sampling Criterion bench.
+    let mut group = c.benchmark_group("pack_scaling_naive");
+    for n in [1_000usize, 10_000] {
+        let items = corpus_items(n);
+        group.throughput(Throughput::Elements(n as u64));
+        group.sample_size(if n >= 10_000 { 3 } else { 10 });
+        for (name, kernel) in NAIVE {
+            group.bench_with_input(BenchmarkId::new(name, n), &items, |b, items| {
+                b.iter(|| black_box(kernel(black_box(items), CAPACITY)))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fast_scaling, bench_naive_scaling);
+criterion_main!(benches);

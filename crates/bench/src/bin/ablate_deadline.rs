@@ -22,7 +22,14 @@ fn main() {
 
     let mut t = Table::new(
         "A2 — adjusted-deadline p_miss sweep (refit model, averaged fleets)",
-        &["p_miss", "plan deadline(s)", "instances", "inst-h", "avg misses", "miss rate%"],
+        &[
+            "p_miss",
+            "plan deadline(s)",
+            "instances",
+            "inst-h",
+            "avg misses",
+            "miss rate%",
+        ],
     );
     for p_miss in [0.5, 0.3, 0.2, 0.1, 0.05, 0.01] {
         let plan = make_plan(

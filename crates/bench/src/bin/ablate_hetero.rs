@@ -51,7 +51,13 @@ fn main() {
 
     let mut t = Table::new(
         "A3 — fleet heterogeneity vs schedule outcome (same plan)",
-        &["fleet", "misses", "inst-h", "makespan(s)", "makespan/predicted"],
+        &[
+            "fleet",
+            "misses",
+            "inst-h",
+            "makespan(s)",
+            "makespan/predicted",
+        ],
     );
     for (label, config) in fleets {
         let mut cloud = Cloud::new(config);

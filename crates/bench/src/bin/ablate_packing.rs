@@ -31,7 +31,15 @@ fn main() {
 
     let mut t = Table::new(
         &format!("A1 — packing algorithm vs schedule quality (capacity {x0} B)"),
-        &["algorithm", "bins", "mean fill", "instances", "inst-h", "misses", "makespan(s)"],
+        &[
+            "algorithm",
+            "bins",
+            "mean fill",
+            "instances",
+            "inst-h",
+            "misses",
+            "makespan(s)",
+        ],
     );
     for alg in Algorithm::ALL {
         let packing = alg.pack(&items, x0);
@@ -39,7 +47,12 @@ fn main() {
         let bins: Vec<Vec<FileSpec>> = packing
             .bins
             .iter()
-            .map(|b| b.items.iter().map(|it| manifest.files[it.id as usize]).collect())
+            .map(|b| {
+                b.items
+                    .iter()
+                    .map(|it| manifest.files[it.id as usize])
+                    .collect()
+            })
             .collect();
         let plan = Plan::from_bins(bins, &eq3, deadline, deadline, x0);
         let report = execute_pos_plan(1010, &plan);

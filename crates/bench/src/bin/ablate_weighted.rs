@@ -7,14 +7,16 @@
 use bench::{fmt_secs, measure, screened_cloud, smoke, Table};
 use corpus::html_18mil;
 use ec2sim::{CloudConfig, DataLocation};
-use perfmodel::{
-    fit, fit_weighted, inverse_variance_weights, volume_weights, ModelKind, UnitSize,
-};
+use perfmodel::{fit, fit_weighted, inverse_variance_weights, volume_weights, ModelKind, UnitSize};
 use reshape::reshape_manifest;
 use textapps::GrepCostModel;
 
 fn main() {
-    let (target_gb, scale) = if smoke() { (4u64, 0.008) } else { (20u64, 0.035) };
+    let (target_gb, scale) = if smoke() {
+        (4u64, 0.008)
+    } else {
+        (20u64, 0.035)
+    };
     let gb = 1_000_000_000u64;
     let (mut cloud, inst) = screened_cloud(CloudConfig {
         seed: 131,
@@ -29,7 +31,10 @@ fn main() {
     // small probes are the noisy ones.
     let vol = cloud.create_volume(zone, (target_gb + 2) * gb);
     cloud.attach_volume(vol, inst).unwrap();
-    let data = DataLocation::Ebs { volume: vol, offset: 0 };
+    let data = DataLocation::Ebs {
+        volume: vol,
+        offset: 0,
+    };
     let mut xs = Vec::new();
     let mut ys = Vec::new();
     for frac in [0.002, 0.005, 0.01, 0.05, 0.1, 0.3, 0.6] {
@@ -58,10 +63,19 @@ fn main() {
 
     let mut t = Table::new(
         &format!("A4 — weighted fitting, predicting a {target_gb} GB run (truth {truth:.1}s)"),
-        &["fit", "slope(e-8)", "intercept", "prediction(s)", "abs err %"],
+        &[
+            "fit",
+            "slope(e-8)",
+            "intercept",
+            "prediction(s)",
+            "abs err %",
+        ],
     );
-    for (name, f) in [("plain OLS", &plain), ("volume-weighted", &volw), ("inverse-variance", &ivw)]
-    {
+    for (name, f) in [
+        ("plain OLS", &plain),
+        ("volume-weighted", &volw),
+        ("inverse-variance", &ivw),
+    ] {
         let pred = f.predict((target_gb * gb) as f64);
         t.row(vec![
             name.to_string(),

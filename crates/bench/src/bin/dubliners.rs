@@ -44,7 +44,12 @@ fn main() {
             book.words.to_string(),
             book.text.len().to_string(),
             format!("{:.2}", book.complexity),
-            format!("{:.0}s ({:.0}m{:02.0}s)", predicted, (predicted / 60.0).floor(), predicted % 60.0),
+            format!(
+                "{:.0}s ({:.0}m{:02.0}s)",
+                predicted,
+                (predicted / 60.0).floor(),
+                predicted % 60.0
+            ),
             format!("{real:.2}"),
             sentences.to_string(),
         ]);

@@ -47,7 +47,13 @@ fn main() {
 
     let mut t = Table::new(
         "Fig 2 — provisioning implication (volume/hour, GB)",
-        &["model", "b", "1st hour (cold)", "hour D-1..D (D=4h)", "decision"],
+        &[
+            "model",
+            "b",
+            "1st hour (cold)",
+            "hour D-1..D (D=4h)",
+            "decision",
+        ],
     );
     for (name, f) in [("convex", &fit_convex), ("concave", &fit_concave)] {
         let first = volume_between(f.a, f.b, 1e-9, 3600.0);

@@ -51,7 +51,11 @@ fn main() {
     t.emit("fig3_grep_1mb");
     println!(
         "paper: values very small, sd large -> discarded as too unstable. reproduced: {}",
-        if any_unstable { "yes" } else { "no (increase noise)" }
+        if any_unstable {
+            "yes"
+        } else {
+            "no (increase noise)"
+        }
     );
     cloud.terminate(inst).unwrap();
 }

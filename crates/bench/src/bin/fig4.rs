@@ -56,10 +56,7 @@ fn main() {
     t.emit("fig4_grep_5gb");
 
     // Plateau check: everything at/above 10 MB units within 10 % of best.
-    let best = means
-        .iter()
-        .map(|&(_, m)| m)
-        .fold(f64::INFINITY, f64::min);
+    let best = means.iter().map(|&(_, m)| m).fold(f64::INFINITY, f64::min);
     let plateau = means
         .iter()
         .filter(|(u, _)| matches!(u, UnitSize::Bytes(b) if *b >= 10_000_000))

@@ -67,9 +67,7 @@ fn main() {
         }
         t.emit(&format!("fig5_grep_{}", fmt_bytes(v)));
         // Repeatability: the rerun at the same placement stays close.
-        let repeatable = rows
-            .iter()
-            .all(|(_, a, b)| (a - b).abs() / a < 0.25);
+        let repeatable = rows.iter().all(|(_, a, b)| (a - b).abs() / a < 0.25);
         println!(
             "{}: {spikes} spike(s); repeatable across reruns: {repeatable} (paper: spikes repeatable, up to 3x)",
             fmt_bytes(v)

@@ -17,7 +17,11 @@ use reshape::reshape_manifest;
 use textapps::GrepCostModel;
 
 fn main() {
-    let (total_gb, scale) = if smoke() { (10u64, 0.014) } else { (100u64, 0.14) };
+    let (total_gb, scale) = if smoke() {
+        (10u64, 0.014)
+    } else {
+        (100u64, 0.14)
+    };
     let gb = 1_000_000_000u64;
     let (mut cloud, inst) = screened_cloud(CloudConfig {
         seed: 61,
@@ -120,7 +124,11 @@ fn main() {
             xs2.push(m.volume as f64);
             ys2.push(m.mean());
         }
-        let bytes: u64 = per_volume[a].iter().chain(&per_volume[b]).map(|f| f.size).sum();
+        let bytes: u64 = per_volume[a]
+            .iter()
+            .chain(&per_volume[b])
+            .map(|f| f.size)
+            .sum();
         xs2.push(bytes as f64);
         ys2.push(elapsed);
         sample_means.push(elapsed);

@@ -1,0 +1,132 @@
+//! Packing-kernel performance report — measures the index-structure kernels
+//! against the quadratic references at 10⁴, 10⁵ and 10⁶ corpus-shaped items
+//! and writes `results/BENCH_packing.json` with items/sec and speedups.
+//!
+//! The fast kernels are timed as the best of three runs; each naive
+//! reference gets a single timed run (at 10⁶ items a quadratic pack takes
+//! tens of seconds — repeating it buys nothing). `--smoke` / `SMOKE=1`
+//! drops the 10⁶ point for CI-speed runs.
+
+use bench::{smoke, Table, RESULTS_DIR};
+use binpack::{
+    best_fit, first_fit, naive_best_fit, naive_first_fit, naive_subset_sum_first_fit,
+    subset_sum_first_fit, Item, Packing, Parallelism,
+};
+use serde::Serialize;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Unit-file capacity, matching `binpack_scaling`: 10 MB over ~37 kB mean
+/// HTML files, a few hundred items per bin.
+const CAPACITY: u64 = 10_000_000;
+
+type Kernel = fn(&[Item], u64) -> Packing;
+
+const KERNELS: [(&str, Kernel, Kernel); 3] = [
+    (
+        "subset_sum_first_fit",
+        subset_sum_first_fit,
+        naive_subset_sum_first_fit,
+    ),
+    ("first_fit", first_fit, naive_first_fit),
+    ("best_fit", best_fit, naive_best_fit),
+];
+
+#[derive(Debug, Serialize)]
+struct Entry {
+    kernel: String,
+    items: usize,
+    capacity: u64,
+    fast_secs: f64,
+    fast_items_per_sec: f64,
+    naive_secs: Option<f64>,
+    speedup_vs_naive: Option<f64>,
+}
+
+#[derive(Debug, Serialize)]
+struct Report {
+    capacity: u64,
+    threads: usize,
+    entries: Vec<Entry>,
+}
+
+fn corpus_items(n: usize) -> Vec<Item> {
+    let m = corpus::html_18mil(n as f64 / 18_000_000.0, 77);
+    m.files.iter().map(|f| Item::new(f.id, f.size)).collect()
+}
+
+fn time_once(kernel: Kernel, items: &[Item]) -> f64 {
+    let start = Instant::now();
+    black_box(kernel(black_box(items), CAPACITY));
+    start.elapsed().as_secs_f64()
+}
+
+fn time_best_of(kernel: Kernel, items: &[Item], runs: usize) -> f64 {
+    (0..runs)
+        .map(|_| time_once(kernel, items))
+        .fold(f64::INFINITY, f64::min)
+}
+
+fn main() {
+    let sizes: &[usize] = if smoke() {
+        &[10_000, 100_000]
+    } else {
+        &[10_000, 100_000, 1_000_000]
+    };
+    // Beyond this the quadratic references take minutes; override with
+    // NAIVE_MAX_ITEMS to push further (or cut down) as the machine allows.
+    let naive_max: usize = std::env::var("NAIVE_MAX_ITEMS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1_000_000);
+
+    let threads = Parallelism::default().effective_workers();
+    let mut entries = Vec::new();
+    let mut table = Table::new(
+        &format!(
+            "packing kernels, corpus-shaped items, capacity {CAPACITY} B ({threads} thread(s))"
+        ),
+        &[
+            "kernel", "items", "fast(s)", "items/s", "naive(s)", "speedup",
+        ],
+    );
+
+    for &n in sizes {
+        let items = corpus_items(n);
+        for (name, fast, naive) in KERNELS {
+            let fast_secs = time_best_of(fast, &items, 3);
+            let naive_secs = (n <= naive_max).then(|| time_once(naive, &items));
+            let speedup = naive_secs.map(|ns| ns / fast_secs);
+            table.row(vec![
+                name.to_string(),
+                n.to_string(),
+                format!("{fast_secs:.4}"),
+                format!("{:.0}", n as f64 / fast_secs),
+                naive_secs.map_or("-".into(), |s| format!("{s:.3}")),
+                speedup.map_or("-".into(), |s| format!("{s:.1}x")),
+            ]);
+            entries.push(Entry {
+                kernel: name.to_string(),
+                items: n,
+                capacity: CAPACITY,
+                fast_secs,
+                fast_items_per_sec: n as f64 / fast_secs,
+                naive_secs,
+                speedup_vs_naive: speedup,
+            });
+        }
+    }
+
+    table.print();
+    let report = Report {
+        capacity: CAPACITY,
+        threads,
+        entries,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    let dir = std::path::PathBuf::from(RESULTS_DIR);
+    std::fs::create_dir_all(&dir).expect("results dir");
+    let path = dir.join("BENCH_packing.json");
+    std::fs::write(&path, json + "\n").expect("write BENCH_packing.json");
+    println!("[json] {}", path.display());
+}

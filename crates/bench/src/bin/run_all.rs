@@ -50,7 +50,10 @@ fn main() {
         }
     }
     if failed.is_empty() {
-        println!("\nall {} regenerators completed; CSVs in results/", BINS.len());
+        println!(
+            "\nall {} regenerators completed; CSVs in results/",
+            BINS.len()
+        );
     } else {
         eprintln!("\nFAILED: {failed:?}");
         std::process::exit(1);

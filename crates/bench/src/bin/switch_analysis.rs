@@ -54,5 +54,7 @@ fn main() {
         ]);
     }
     t.emit("switch_breakeven");
-    println!("paper: with a mostly-good fleet, switching wins despite the 3 min penalty. reproduced.");
+    println!(
+        "paper: with a mostly-good fleet, switching wins despite the 3 min penalty. reproduced."
+    );
 }

@@ -198,14 +198,7 @@ pub fn pos_calibration(
     let mut ys = Vec::new();
     for mb in [1u64, 2, 5, 10, 20, 50] {
         let subset = manifest.prefix_by_volume(mb * 1_000_000);
-        let m = measure(
-            cloud,
-            inst,
-            &model,
-            &subset.files,
-            DataLocation::Local,
-            5,
-        );
+        let m = measure(cloud, inst, &model, &subset.files, DataLocation::Local, 5);
         for &run in &m.runs {
             xs.push(m.volume as f64);
             ys.push(run);
@@ -256,10 +249,18 @@ pub fn execute_pos_plan(seed: u64, plan: &provision::Plan) -> provision::Executi
 
 /// Emit one scheduling panel (Fig 8/9 style): the per-instance execution
 /// times against the deadline, plus a one-line summary.
-pub fn emit_pos_panel(name: &str, label: &str, plan: &provision::Plan, seed: u64) -> (usize, u64, usize) {
+pub fn emit_pos_panel(
+    name: &str,
+    label: &str,
+    plan: &provision::Plan,
+    seed: u64,
+) -> (usize, u64, usize) {
     let report = execute_pos_plan(seed, plan);
     let mut t = Table::new(
-        &format!("{label} (deadline {:.0}s, planned for {:.0}s)", plan.deadline_secs, plan.planning_deadline_secs),
+        &format!(
+            "{label} (deadline {:.0}s, planned for {:.0}s)",
+            plan.deadline_secs, plan.planning_deadline_secs
+        ),
         &["instance", "volume", "predicted(s)", "observed(s)", "met"],
     );
     for (i, run) in report.runs.iter().enumerate() {

@@ -9,6 +9,8 @@
 
 use crate::item::Bin;
 use crate::pack::Packing;
+use crate::parallel::Parallelism;
+use rayon::prelude::*;
 
 /// Merge every `factor` consecutive bins of `base` into one bin of capacity
 /// `factor · base.capacity`. The final merged bin may cover fewer than
@@ -37,11 +39,28 @@ pub fn derive_probe_chain(base: &Packing, factors: &[usize]) -> Vec<Packing> {
     factors.iter().map(|&f| derive_merged(base, f)).collect()
 }
 
+/// [`derive_probe_chain`] with each factor derived concurrently. Every
+/// derivation reads `base` and writes an independent output, so the chain is
+/// embarrassingly parallel; results are gathered in factor order and are
+/// identical to the sequential chain.
+pub fn derive_probe_chain_par(
+    base: &Packing,
+    factors: &[usize],
+    parallelism: Parallelism,
+) -> Vec<Packing> {
+    parallelism.install(|| {
+        factors
+            .par_iter()
+            .map(|&f| derive_merged(base, f))
+            .collect()
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fast::subset_sum_first_fit;
     use crate::item::Item;
-    use crate::subset_sum::subset_sum_first_fit;
 
     #[test]
     fn merging_halves_bin_count() {

@@ -127,7 +127,7 @@ pub fn subset_sum_dp(items: &[Item], capacity: u64, resolution: usize) -> Packin
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::subset_sum::subset_sum_first_fit;
+    use crate::fast::subset_sum_first_fit;
 
     fn items(sizes: &[u64]) -> Vec<Item> {
         Item::from_sizes(sizes)

@@ -1,0 +1,281 @@
+//! Index-structure packing kernels: the O(n log n) replacements for the
+//! quadratic reference algorithms.
+//!
+//! Each function here is a drop-in for its `naive_*` counterpart and
+//! produces a **bitwise identical** [`Packing`] — same bins, same order,
+//! same members — it only changes how the next placement is found:
+//!
+//! * [`subset_sum_first_fit`][]: the "largest remaining item that still fits"
+//!   lookup runs against a sorted multiset (`BTreeSet` keyed by
+//!   `(size, Reverse(position))`) instead of rescanning the descending item
+//!   list per bin. O(n²) → O(n log n).
+//! * [`first_fit`][]: "first open bin with room" runs against a max
+//!   segment tree over per-bin free space ([`crate::segtree`]) instead of a
+//!   linear bin scan. O(n·bins) → O(n log n).
+//! * [`best_fit`][]: "tightest bin that fits" runs against a `BTreeSet` keyed
+//!   by `(free, bin index)` — the successor of `(size, 0)` is exactly the
+//!   minimum-slack, earliest-index bin. O(n·bins) → O(n log n).
+//! * [`uniform_k_bins`][]: "least-loaded bin" pops from a min-heap keyed by
+//!   `(load, bin index)`. O(n·k) → O(n log k).
+//!
+//! Equivalence is pinned by differential property tests in
+//! `tests/properties.rs`, which compare against the retained naive
+//! implementations on randomized inputs including zero-size and oversize
+//! items.
+
+use std::cmp::Reverse;
+use std::collections::{BTreeSet, BinaryHeap};
+
+use crate::item::{Bin, Item};
+use crate::pack::Packing;
+use crate::segtree::MaxSegTree;
+
+/// Pack `items` into bins of `capacity` using greedy subset-sum first fit.
+///
+/// Semantics are identical to [`crate::naive_subset_sum_first_fit`]; see
+/// that function for the full contract (oversize handling, tie-breaking,
+/// within-bin ordering). This version indexes the open items in a sorted
+/// multiset so each "largest item that still fits" draw is one range lookup.
+pub fn subset_sum_first_fit(items: &[Item], capacity: u64) -> Packing {
+    assert!(capacity > 0, "bin capacity must be positive");
+    let mut bins: Vec<Bin> = Vec::new();
+
+    // Oversize items pass through untouched, in input order.
+    for &item in items.iter().filter(|i| i.size > capacity) {
+        let mut b = Bin::new(capacity);
+        b.push(item);
+        bins.push(b);
+    }
+
+    // Open items keyed by (size, Reverse(position)): the maximum key at or
+    // below (free, Reverse(0)) is the largest fitting item, earliest input
+    // position among equals — the same item the descending scan would take.
+    let mut open: BTreeSet<(u64, Reverse<usize>)> = items
+        .iter()
+        .enumerate()
+        .filter(|(_, i)| i.size <= capacity)
+        .map(|(pos, i)| (i.size, Reverse(pos)))
+        .collect();
+
+    while !open.is_empty() {
+        let mut bin_members: Vec<usize> = Vec::new();
+        let mut free = capacity;
+        while free > 0 {
+            let Some(&key) = open.range(..=(free, Reverse(0usize))).next_back() else {
+                break;
+            };
+            open.remove(&key);
+            let (size, Reverse(pos)) = key;
+            free -= size;
+            bin_members.push(pos);
+            if open.is_empty() {
+                break;
+            }
+        }
+        // Restore input order within the bin for stable concatenation.
+        bin_members.sort_unstable();
+        let mut b = Bin::new(capacity);
+        for pos in bin_members {
+            b.push(items[pos]);
+        }
+        bins.push(b);
+    }
+
+    Packing { bins, capacity }
+}
+
+/// First fit over items in their input order, backed by a segment tree.
+///
+/// Semantics are identical to [`crate::naive_first_fit`]: each item goes to
+/// the lowest-numbered open non-oversize bin with room, else a new bin
+/// opens; items larger than `capacity` get dedicated oversize bins at their
+/// arrival position. The segment tree keeps one slot per (potential) bin —
+/// key = free space, or [`INACTIVE`] for unopened and oversize slots — so
+/// the bin search is a single leftmost-at-least descent.
+pub fn first_fit(items: &[Item], capacity: u64) -> Packing {
+    assert!(capacity > 0, "bin capacity must be positive");
+    let mut bins: Vec<Bin> = Vec::new();
+    let mut tree = MaxSegTree::new(items.len());
+    for &item in items {
+        if item.size > capacity {
+            let mut b = Bin::new(capacity);
+            b.push(item);
+            bins.push(b);
+            // The slot stays INACTIVE: oversize bins never accept items.
+            continue;
+        }
+        match tree.first_at_least(item.size as i128) {
+            Some(idx) => {
+                bins[idx].push(item);
+                tree.set(idx, bins[idx].free() as i128);
+            }
+            None => {
+                let mut b = Bin::new(capacity);
+                b.push(item);
+                bins.push(b);
+                let idx = bins.len() - 1;
+                tree.set(idx, bins[idx].free() as i128);
+            }
+        }
+    }
+    Packing { bins, capacity }
+}
+
+/// Best fit backed by a sorted set of `(free, bin index)` pairs.
+///
+/// Semantics are identical to [`crate::naive_best_fit`]: each item goes to
+/// the open bin where it leaves the least free space, ties broken by the
+/// earliest bin — which is exactly the in-order successor of `(size, 0)` in
+/// the set, since keys sort by free space first and bin index second.
+pub fn best_fit(items: &[Item], capacity: u64) -> Packing {
+    assert!(capacity > 0, "bin capacity must be positive");
+    let mut bins: Vec<Bin> = Vec::new();
+    let mut by_free: BTreeSet<(u64, usize)> = BTreeSet::new();
+    for &item in items {
+        if item.size > capacity {
+            let mut b = Bin::new(capacity);
+            b.push(item);
+            bins.push(b);
+            // Oversize bins are never candidates, so never enter the set.
+            continue;
+        }
+        match by_free.range((item.size, 0)..).next().copied() {
+            Some(key) => {
+                let (_, idx) = key;
+                by_free.remove(&key);
+                bins[idx].push(item);
+                by_free.insert((bins[idx].free(), idx));
+            }
+            None => {
+                let mut b = Bin::new(capacity);
+                b.push(item);
+                bins.push(b);
+                let idx = bins.len() - 1;
+                by_free.insert((bins[idx].free(), idx));
+            }
+        }
+    }
+    Packing { bins, capacity }
+}
+
+/// Uniform split into exactly `k` bins via LPT greedy, backed by a min-heap.
+///
+/// Semantics are identical to [`crate::naive_uniform_k_bins`]: items are
+/// considered largest-first (ties by input position) and each goes to the
+/// currently least-loaded bin, ties broken by lowest bin index — the exact
+/// ordering of `Reverse<(load, index)>` in a max-heap.
+pub fn uniform_k_bins(items: &[Item], k: usize) -> Packing {
+    assert!(k >= 1, "need at least one bin");
+    let total: u64 = items.iter().map(|i| i.size).sum();
+    let target = total.div_ceil(k as u64).max(1);
+
+    let mut order: Vec<(usize, Item)> = items.iter().copied().enumerate().collect();
+    order.sort_by(|a, b| b.1.size.cmp(&a.1.size).then(a.0.cmp(&b.0)));
+
+    let mut assigned: Vec<Vec<(usize, Item)>> = vec![Vec::new(); k];
+    let mut heap: BinaryHeap<Reverse<(u64, usize)>> = (0..k).map(|i| Reverse((0u64, i))).collect();
+    for (pos, item) in order {
+        let Reverse((load, idx)) = heap.pop().expect("heap holds k bins");
+        assigned[idx].push((pos, item));
+        heap.push(Reverse((load + item.size, idx)));
+    }
+
+    let bins = assigned
+        .into_iter()
+        .map(|mut members| {
+            members.sort_by_key(|&(pos, _)| pos);
+            let mut b = Bin::new(target);
+            for (_, item) in members {
+                b.push(item);
+            }
+            b
+        })
+        .collect();
+    Packing {
+        bins,
+        capacity: target,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kbins::naive_uniform_k_bins;
+    use crate::pack::{naive_best_fit, naive_first_fit};
+    use crate::subset_sum::naive_subset_sum_first_fit;
+
+    /// A deterministic pseudo-random size mix with zeros, duplicates and
+    /// oversize values — the awkward cases for index-structure rewrites.
+    fn awkward_sizes(n: usize, cap: u64) -> Vec<u64> {
+        let mut state = 0x9E37_79B9u64;
+        (0..n)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                match state % 17 {
+                    0 => 0,                     // zero-size items
+                    1 => cap,                   // exact-capacity items
+                    2 => cap + 1 + state % 100, // oversize items
+                    _ => state % (cap + 1),
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn subset_sum_matches_naive_on_awkward_mix() {
+        let items = Item::from_sizes(&awkward_sizes(500, 1000));
+        assert_eq!(
+            subset_sum_first_fit(&items, 1000),
+            naive_subset_sum_first_fit(&items, 1000)
+        );
+    }
+
+    #[test]
+    fn first_fit_matches_naive_on_awkward_mix() {
+        let items = Item::from_sizes(&awkward_sizes(500, 1000));
+        assert_eq!(first_fit(&items, 1000), naive_first_fit(&items, 1000));
+    }
+
+    #[test]
+    fn best_fit_matches_naive_on_awkward_mix() {
+        let items = Item::from_sizes(&awkward_sizes(500, 1000));
+        assert_eq!(best_fit(&items, 1000), naive_best_fit(&items, 1000));
+    }
+
+    #[test]
+    fn uniform_k_bins_matches_naive_on_awkward_mix() {
+        let items = Item::from_sizes(&awkward_sizes(500, 1000));
+        for k in [1, 2, 7, 64, 501] {
+            assert_eq!(uniform_k_bins(&items, k), naive_uniform_k_bins(&items, k));
+        }
+    }
+
+    #[test]
+    fn all_zero_items_share_one_bin() {
+        let items = Item::from_sizes(&[0, 0, 0]);
+        let p = subset_sum_first_fit(&items, 10);
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.total_items(), 3);
+        assert_eq!(p, naive_subset_sum_first_fit(&items, 10));
+    }
+
+    #[test]
+    fn zero_after_exact_fill_opens_new_bin() {
+        // The naive scan breaks out of a bin the moment free hits zero, so a
+        // zero-size item must NOT ride along in a perfectly filled bin.
+        let items = Item::from_sizes(&[10, 0]);
+        let p = subset_sum_first_fit(&items, 10);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p, naive_subset_sum_first_fit(&items, 10));
+    }
+
+    #[test]
+    fn empty_input_all_kernels() {
+        assert!(subset_sum_first_fit(&[], 5).is_empty());
+        assert!(first_fit(&[], 5).is_empty());
+        assert!(best_fit(&[], 5).is_empty());
+        assert_eq!(uniform_k_bins(&[], 3).len(), 3);
+    }
+}

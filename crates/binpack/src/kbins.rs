@@ -11,13 +11,13 @@
 //!   same cost `r·i`.
 
 use crate::item::{Bin, Item};
-use crate::pack::{first_fit, Packing};
+use crate::pack::Packing;
 
 /// Capacity-driven split: first fit in input order with bin capacity
 /// `capacity`. Returns the packing; callers check `packing.len()` against
 /// their instance budget.
 pub fn pack_into_k_bins(items: &[Item], capacity: u64) -> Packing {
-    first_fit(items, capacity)
+    crate::fast::first_fit(items, capacity)
 }
 
 /// Uniform split into exactly `k` bins using longest-processing-time
@@ -28,7 +28,11 @@ pub fn pack_into_k_bins(items: &[Item], capacity: u64) -> Packing {
 /// Guarantees exactly `k` bins (some possibly empty when there are fewer
 /// items than bins) and a max−min load spread bounded by the largest item
 /// size — for corpora of many small files the loads are near-identical.
-pub fn uniform_k_bins(items: &[Item], k: usize) -> Packing {
+///
+/// Reference implementation (O(n·k) bin selection) — the production kernel
+/// is [`crate::uniform_k_bins`], which produces the identical packing in
+/// O(n log k) via a min-heap.
+pub fn naive_uniform_k_bins(items: &[Item], k: usize) -> Packing {
     assert!(k >= 1, "need at least one bin");
     let total: u64 = items.iter().map(|i| i.size).sum();
     let target = total.div_ceil(k as u64).max(1);
@@ -71,7 +75,7 @@ pub fn rebalance_uniform(packing: &Packing) -> Packing {
         .iter()
         .flat_map(|b| b.items.iter().copied())
         .collect();
-    uniform_k_bins(&items, packing.len().max(1))
+    crate::fast::uniform_k_bins(&items, packing.len().max(1))
 }
 
 #[cfg(test)]
@@ -81,7 +85,7 @@ mod tests {
     #[test]
     fn uniform_split_balances_loads() {
         let items = Item::from_sizes(&[1; 1000]);
-        let p = uniform_k_bins(&items, 7);
+        let p = naive_uniform_k_bins(&items, 7);
         assert_eq!(p.len(), 7);
         let sizes = p.bin_sizes();
         let max = *sizes.iter().max().unwrap();
@@ -93,7 +97,7 @@ mod tests {
     #[test]
     fn uniform_split_with_fewer_items_than_bins() {
         let items = Item::from_sizes(&[5, 5]);
-        let p = uniform_k_bins(&items, 4);
+        let p = naive_uniform_k_bins(&items, 4);
         assert_eq!(p.len(), 4);
         assert_eq!(p.total_items(), 2);
         assert_eq!(p.bins.iter().filter(|b| b.is_empty()).count(), 2);
@@ -102,7 +106,7 @@ mod tests {
     #[test]
     fn uniform_split_keeps_input_order_within_bins() {
         let items = Item::from_sizes(&[3, 9, 1, 7, 5, 2]);
-        let p = uniform_k_bins(&items, 2);
+        let p = naive_uniform_k_bins(&items, 2);
         for b in &p.bins {
             let ids: Vec<u64> = b.items.iter().map(|i| i.id).collect();
             let mut sorted = ids.clone();
@@ -144,6 +148,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one bin")]
     fn zero_bins_rejected() {
-        uniform_k_bins(&Item::from_sizes(&[1]), 0);
+        naive_uniform_k_bins(&Item::from_sizes(&[1]), 0);
     }
 }

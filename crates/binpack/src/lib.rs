@@ -11,6 +11,14 @@
 //! * the **subset-sum first fit** heuristic the paper uses (§4, §5.2),
 //! * the standard first-fit family (in input order and decreasing),
 //!   best-fit, next-fit and worst-fit for comparison/ablation,
+//! * **O(n log n) kernels** for subset-sum first fit, first fit, best fit
+//!   and `uniform_k_bins` ([`fast`](crate::subset_sum_first_fit), backed by
+//!   a sorted multiset, a segment tree, an ordered set and a min-heap
+//!   respectively) that produce bitwise identical packings to the retained
+//!   `naive_*` reference implementations — at paper scale (18M files) the
+//!   quadratic references are unusable,
+//! * a [`Parallelism`] knob and parallel sweep paths
+//!   ([`derive_probe_chain_par`]) whose outputs match the sequential ones,
 //! * **derived probes**: given a packing at unit size `s0`, directly derive
 //!   packings at unit sizes `m·s0` by merging consecutive bins — the trick
 //!   the paper uses to avoid re-running first fit for every probe size,
@@ -24,19 +32,26 @@
 
 mod derive;
 mod dp;
+mod fast;
 mod item;
 mod kbins;
 mod pack;
+mod parallel;
+mod segtree;
 mod stats;
 mod subset_sum;
 
-pub use derive::{derive_merged, derive_probe_chain};
+pub use derive::{derive_merged, derive_probe_chain, derive_probe_chain_par};
 pub use dp::subset_sum_dp;
+pub use fast::{best_fit, first_fit, subset_sum_first_fit, uniform_k_bins};
 pub use item::{Bin, Item, ItemId};
-pub use kbins::{pack_into_k_bins, rebalance_uniform, uniform_k_bins};
-pub use pack::{best_fit, first_fit, first_fit_decreasing, next_fit, worst_fit, Packing};
+pub use kbins::{naive_uniform_k_bins, pack_into_k_bins, rebalance_uniform};
+pub use pack::{
+    first_fit_decreasing, naive_best_fit, naive_first_fit, next_fit, worst_fit, Packing,
+};
+pub use parallel::Parallelism;
 pub use stats::PackingStats;
-pub use subset_sum::subset_sum_first_fit;
+pub use subset_sum::naive_subset_sum_first_fit;
 
 /// Strategy selector for packing algorithms, useful for ablation benches and
 /// configuration files.

@@ -1,5 +1,11 @@
 //! The classic online bin-packing family: first fit (in order and
 //! decreasing), best fit, next fit and worst fit.
+//!
+//! First fit and best fit appear twice in this crate: the linear-scan
+//! reference versions here (`naive_first_fit`, `naive_best_fit`, both
+//! O(n·bins)) and the index-structure versions in [`crate::fast`] that the
+//! public `first_fit` / `best_fit` names resolve to (O(n log n), bitwise
+//! identical output). The naive versions stay as differential-test oracles.
 
 use crate::item::{Bin, Item};
 use serde::{Deserialize, Serialize};
@@ -55,7 +61,10 @@ fn place_oversize(bins: &mut Vec<Bin>, capacity: u64, item: Item) {
 /// This is the variant the paper applies to the POS workload (§5.2): keeping
 /// input order avoids sorting large files to the front, which that
 /// application punishes.
-pub fn first_fit(items: &[Item], capacity: u64) -> Packing {
+///
+/// Reference implementation — the production kernel is
+/// [`crate::first_fit`], which produces the identical packing in O(n log n).
+pub fn naive_first_fit(items: &[Item], capacity: u64) -> Packing {
     assert!(capacity > 0, "bin capacity must be positive");
     let mut bins: Vec<Bin> = Vec::new();
     for &item in items {
@@ -81,12 +90,15 @@ pub fn first_fit(items: &[Item], capacity: u64) -> Packing {
 pub fn first_fit_decreasing(items: &[Item], capacity: u64) -> Packing {
     let mut sorted: Vec<Item> = items.to_vec();
     sorted.sort_by_key(|item| std::cmp::Reverse(item.size));
-    first_fit(&sorted, capacity)
+    crate::fast::first_fit(&sorted, capacity)
 }
 
 /// Best fit: each item goes to the open bin where it leaves the least free
 /// space; ties broken by earliest bin.
-pub fn best_fit(items: &[Item], capacity: u64) -> Packing {
+///
+/// Reference implementation — the production kernel is
+/// [`crate::best_fit`], which produces the identical packing in O(n log n).
+pub fn naive_best_fit(items: &[Item], capacity: u64) -> Packing {
     assert!(capacity > 0, "bin capacity must be positive");
     let mut bins: Vec<Bin> = Vec::new();
     for &item in items {
@@ -171,18 +183,24 @@ mod tests {
     #[test]
     fn first_fit_textbook_example() {
         // Classic example: capacity 10, sizes 5,7,5,2,4,2,5,1,6
-        let p = first_fit(&items(&[5, 7, 5, 2, 4, 2, 5, 1, 6]), 10);
+        let p = naive_first_fit(&items(&[5, 7, 5, 2, 4, 2, 5, 1, 6]), 10);
         // FF: [5,5] [7,2,1] [4,2] [5] [6] -> 5 bins
         assert_eq!(p.len(), 5);
-        assert_eq!(p.bins[0].items.iter().map(|i| i.size).collect::<Vec<_>>(), vec![5, 5]);
-        assert_eq!(p.bins[1].items.iter().map(|i| i.size).collect::<Vec<_>>(), vec![7, 2, 1]);
+        assert_eq!(
+            p.bins[0].items.iter().map(|i| i.size).collect::<Vec<_>>(),
+            vec![5, 5]
+        );
+        assert_eq!(
+            p.bins[1].items.iter().map(|i| i.size).collect::<Vec<_>>(),
+            vec![7, 2, 1]
+        );
         assert_eq!(p.total_size(), 37);
     }
 
     #[test]
     fn ffd_uses_fewer_or_equal_bins_here() {
         let sizes = [5, 7, 5, 2, 4, 2, 5, 1, 6];
-        let ff = first_fit(&items(&sizes), 10);
+        let ff = naive_first_fit(&items(&sizes), 10);
         let ffd = first_fit_decreasing(&items(&sizes), 10);
         assert!(ffd.len() <= ff.len());
         assert_eq!(ffd.total_size(), ff.total_size());
@@ -197,16 +215,22 @@ mod tests {
     #[test]
     fn best_fit_prefers_tightest_bin() {
         // Bins after 6 and 8: free 4 and 2. Item 2 must land in the 8-bin.
-        let p = best_fit(&items(&[6, 8, 2]), 10);
+        let p = naive_best_fit(&items(&[6, 8, 2]), 10);
         assert_eq!(p.len(), 2);
-        assert_eq!(p.bins[1].items.iter().map(|i| i.size).collect::<Vec<_>>(), vec![8, 2]);
+        assert_eq!(
+            p.bins[1].items.iter().map(|i| i.size).collect::<Vec<_>>(),
+            vec![8, 2]
+        );
     }
 
     #[test]
     fn worst_fit_prefers_emptiest_bin() {
         let p = worst_fit(&items(&[6, 8, 2]), 10);
         assert_eq!(p.len(), 2);
-        assert_eq!(p.bins[0].items.iter().map(|i| i.size).collect::<Vec<_>>(), vec![6, 2]);
+        assert_eq!(
+            p.bins[0].items.iter().map(|i| i.size).collect::<Vec<_>>(),
+            vec![6, 2]
+        );
     }
 
     #[test]
@@ -219,7 +243,7 @@ mod tests {
 
     #[test]
     fn oversize_items_get_dedicated_bins() {
-        let p = first_fit(&items(&[4, 25, 4]), 10);
+        let p = naive_first_fit(&items(&[4, 25, 4]), 10);
         assert_eq!(p.len(), 2);
         let over: Vec<&Bin> = p.bins.iter().filter(|b| b.is_oversize()).collect();
         assert_eq!(over.len(), 1);
@@ -231,14 +255,14 @@ mod tests {
 
     #[test]
     fn empty_input_gives_empty_packing() {
-        let p = first_fit(&[], 10);
+        let p = naive_first_fit(&[], 10);
         assert!(p.is_empty());
         assert_eq!(p.total_size(), 0);
     }
 
     #[test]
     fn zero_sized_items_do_not_open_bins_needlessly() {
-        let p = first_fit(&items(&[0, 0, 5]), 10);
+        let p = naive_first_fit(&items(&[0, 0, 5]), 10);
         assert_eq!(p.len(), 1);
         assert_eq!(p.total_items(), 3);
     }
@@ -246,6 +270,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_panics() {
-        first_fit(&items(&[1]), 0);
+        naive_first_fit(&items(&[1]), 0);
     }
 }

@@ -1,0 +1,77 @@
+//! The parallelism knob shared by every sweep in the workspace.
+//!
+//! Packing a single probe is an inherently sequential greedy loop, but the
+//! pipeline around it is embarrassingly parallel: a probe set packs many
+//! unit sizes independently, a derived chain merges many factors
+//! independently, and the reshape step post-processes many bins
+//! independently. [`Parallelism`] selects how those loops run; results are
+//! **identical** either way because all parallel paths gather their outputs
+//! in input order.
+
+use serde::{Deserialize, Serialize};
+
+/// How to execute data-parallel sweeps (probe construction, chain
+/// derivation, bin post-processing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Parallelism {
+    /// Plain sequential loops. Useful for debugging and as the baseline in
+    /// differential tests.
+    Sequential,
+    /// Rayon-style fork-join with the given worker count; `0` means one
+    /// worker per available CPU. This is the default (`Rayon(0)`).
+    Rayon(usize),
+}
+
+impl Default for Parallelism {
+    fn default() -> Self {
+        Parallelism::Rayon(0)
+    }
+}
+
+impl Parallelism {
+    /// Run `f` under this parallelism setting: any parallel iterator used
+    /// inside is bounded to the selected worker count.
+    pub fn install<R>(self, f: impl FnOnce() -> R) -> R {
+        let workers = match self {
+            Parallelism::Sequential => 1,
+            Parallelism::Rayon(n) => n,
+        };
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(workers)
+            .build()
+            .expect("thread pool construction cannot fail")
+            .install(f)
+    }
+
+    /// The worker count this setting resolves to on the current machine.
+    pub fn effective_workers(self) -> usize {
+        self.install(rayon::current_num_threads)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_means_one_worker() {
+        assert_eq!(Parallelism::Sequential.effective_workers(), 1);
+    }
+
+    #[test]
+    fn explicit_worker_count_is_respected() {
+        assert_eq!(Parallelism::Rayon(3).effective_workers(), 3);
+    }
+
+    #[test]
+    fn auto_uses_at_least_one_worker() {
+        assert!(Parallelism::Rayon(0).effective_workers() >= 1);
+        assert!(Parallelism::default().effective_workers() >= 1);
+    }
+
+    #[test]
+    fn install_returns_closure_result() {
+        let v = Parallelism::Sequential.install(|| 41 + 1);
+        assert_eq!(v, 42);
+    }
+}

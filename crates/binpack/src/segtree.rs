@@ -1,0 +1,124 @@
+//! Segment tree over bin free-space, the index structure behind the
+//! O(n log n) first fit.
+//!
+//! First fit needs "the lowest-numbered open bin whose free space is at
+//! least `size`". A max-segment-tree over per-bin free space answers that in
+//! O(log n): if a subtree's maximum is below `size` no bin inside it fits,
+//! otherwise descend left-first to land on the earliest one.
+//!
+//! Slots start *inactive* (key −1, matching no request, since item sizes are
+//! non-negative) and are activated as bins open. Oversize bins keep the −1
+//! key forever, mirroring the `!is_oversize()` filter of the linear scan.
+//! Keys are `i128` so the full `u64` capacity range is representable next to
+//! the −1 sentinel.
+
+/// Max-segment-tree over `i128` keys supporting point updates and
+/// leftmost-at-least queries.
+#[derive(Debug)]
+pub(crate) struct MaxSegTree {
+    /// Number of leaves (padded to a power of two).
+    width: usize,
+    /// Heap-layout nodes; `tree[1]` is the root, leaves start at `width`.
+    tree: Vec<i128>,
+}
+
+/// Key for a slot that cannot accept any item: never created, or oversize.
+pub(crate) const INACTIVE: i128 = -1;
+
+impl MaxSegTree {
+    /// Tree with `n` slots, all inactive.
+    pub(crate) fn new(n: usize) -> Self {
+        let width = n.max(1).next_power_of_two();
+        MaxSegTree {
+            width,
+            tree: vec![INACTIVE; 2 * width],
+        }
+    }
+
+    /// Set slot `i`'s key and recompute ancestors.
+    pub(crate) fn set(&mut self, i: usize, key: i128) {
+        let mut node = self.width + i;
+        self.tree[node] = key;
+        node /= 2;
+        while node >= 1 {
+            self.tree[node] = self.tree[2 * node].max(self.tree[2 * node + 1]);
+            node /= 2;
+        }
+    }
+
+    /// Lowest slot index whose key is `>= min_key`, if any.
+    pub(crate) fn first_at_least(&self, min_key: i128) -> Option<usize> {
+        if self.tree[1] < min_key {
+            return None;
+        }
+        let mut node = 1;
+        while node < self.width {
+            node = if self.tree[2 * node] >= min_key {
+                2 * node
+            } else {
+                2 * node + 1
+            };
+        }
+        Some(node - self.width)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_tree_finds_nothing() {
+        let t = MaxSegTree::new(8);
+        assert_eq!(t.first_at_least(0), None);
+        assert_eq!(t.first_at_least(5), None);
+    }
+
+    #[test]
+    fn finds_leftmost_fit() {
+        let mut t = MaxSegTree::new(5);
+        t.set(0, 3);
+        t.set(1, 10);
+        t.set(2, 7);
+        assert_eq!(t.first_at_least(7), Some(1));
+        assert_eq!(t.first_at_least(2), Some(0));
+        assert_eq!(t.first_at_least(11), None);
+        // Zero-size requests match any active slot, even a full bin (key 0).
+        t.set(0, 0);
+        assert_eq!(t.first_at_least(0), Some(0));
+    }
+
+    #[test]
+    fn updates_propagate() {
+        let mut t = MaxSegTree::new(4);
+        t.set(2, 9);
+        assert_eq!(t.first_at_least(9), Some(2));
+        t.set(2, 1);
+        assert_eq!(t.first_at_least(9), None);
+        assert_eq!(t.first_at_least(1), Some(2));
+    }
+
+    #[test]
+    fn inactive_slots_never_match_zero() {
+        let t = MaxSegTree::new(3);
+        // A zero-size item must not land in a slot that was never opened.
+        assert_eq!(t.first_at_least(0), None);
+    }
+
+    #[test]
+    fn handles_u64_scale_keys() {
+        let mut t = MaxSegTree::new(2);
+        t.set(0, u64::MAX as i128);
+        assert_eq!(t.first_at_least(u64::MAX as i128), Some(0));
+        assert_eq!(t.first_at_least(1), Some(0));
+    }
+
+    #[test]
+    fn single_slot_tree() {
+        let mut t = MaxSegTree::new(1);
+        assert_eq!(t.first_at_least(0), None);
+        t.set(0, 4);
+        assert_eq!(t.first_at_least(4), Some(0));
+        assert_eq!(t.first_at_least(5), None);
+    }
+}

@@ -58,9 +58,9 @@ impl PackingStats {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fast::first_fit;
+    use crate::fast::subset_sum_first_fit;
     use crate::item::Item;
-    use crate::pack::first_fit;
-    use crate::subset_sum::subset_sum_first_fit;
 
     #[test]
     fn stats_on_perfect_packing() {

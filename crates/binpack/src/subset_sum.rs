@@ -1,4 +1,5 @@
-//! The subset-sum first fit heuristic (Vazirani, as cited by the paper).
+//! The subset-sum first fit heuristic (Vazirani, as cited by the paper) —
+//! reference implementation.
 //!
 //! Plain first fit fills a bin with whatever happens to arrive while it has
 //! room. The subset-sum variant instead closes bins one at a time: for the
@@ -7,19 +8,29 @@
 //! closest to the capacity. The result is bins that match the desired unit
 //! file size much more tightly, which is exactly what the paper wants when
 //! reshaping a probe to a target unit size.
+//!
+//! This module holds the O(n²) reference version; the production kernel with
+//! identical output lives in [`crate::fast`] and is what
+//! [`crate::subset_sum_first_fit`] resolves to.
 
 use crate::item::{Bin, Item};
 use crate::pack::Packing;
 
-/// Pack `items` into bins of `capacity` using greedy subset-sum first fit.
+/// Pack `items` into bins of `capacity` using greedy subset-sum first fit —
+/// the quadratic reference implementation.
 ///
 /// For each bin, items are drawn largest-first among those that fit the
 /// remaining space; ties are broken by input position (earlier first), and
 /// the items inside a bin are finally re-ordered by input position so
-/// concatenation order remains stable. Items larger than `capacity` are
-/// emitted as dedicated oversize bins, in input order, before any merged bin
-/// that would otherwise follow them.
-pub fn subset_sum_first_fit(items: &[Item], capacity: u64) -> Packing {
+/// concatenation order remains stable. All items larger than `capacity` are
+/// emitted as dedicated oversize bins **first**, in input order, ahead of
+/// every merged bin — an oversize item is never interleaved between merged
+/// bins, even when it arrives late in the input.
+///
+/// [`crate::subset_sum_first_fit`] produces the identical packing in
+/// O(n log n); this version is retained as the differential-testing oracle
+/// and for line-by-line correspondence with the paper's description.
+pub fn naive_subset_sum_first_fit(items: &[Item], capacity: u64) -> Packing {
     assert!(capacity > 0, "bin capacity must be positive");
     let mut bins: Vec<Bin> = Vec::new();
 
@@ -72,7 +83,7 @@ pub fn subset_sum_first_fit(items: &[Item], capacity: u64) -> Packing {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::pack::first_fit;
+    use crate::pack::naive_first_fit;
 
     fn items(sizes: &[u64]) -> Vec<Item> {
         Item::from_sizes(sizes)
@@ -82,8 +93,8 @@ mod tests {
     fn fills_bins_tighter_than_first_fit() {
         // FF on this input wastes space; subset-sum finds exact fits.
         let sizes = [6, 6, 6, 4, 4, 4];
-        let ss = subset_sum_first_fit(&items(&sizes), 10);
-        let ff = first_fit(&items(&sizes), 10);
+        let ss = naive_subset_sum_first_fit(&items(&sizes), 10);
+        let ff = naive_first_fit(&items(&sizes), 10);
         assert_eq!(ss.len(), 3); // three perfect 6+4 bins
         assert!(ss.len() <= ff.len());
         for b in &ss.bins {
@@ -94,14 +105,14 @@ mod tests {
     #[test]
     fn conserves_items_and_bytes() {
         let sizes = [9, 1, 8, 2, 7, 3, 6, 4, 5, 5];
-        let p = subset_sum_first_fit(&items(&sizes), 10);
+        let p = naive_subset_sum_first_fit(&items(&sizes), 10);
         assert_eq!(p.total_items(), sizes.len());
         assert_eq!(p.total_size(), sizes.iter().sum::<u64>());
     }
 
     #[test]
     fn bin_contents_keep_input_order() {
-        let p = subset_sum_first_fit(&items(&[4, 6]), 10);
+        let p = naive_subset_sum_first_fit(&items(&[4, 6]), 10);
         assert_eq!(p.len(), 1);
         let ids: Vec<u64> = p.bins[0].items.iter().map(|i| i.id).collect();
         assert_eq!(ids, vec![0, 1]);
@@ -109,16 +120,31 @@ mod tests {
 
     #[test]
     fn oversize_handled_separately() {
-        let p = subset_sum_first_fit(&items(&[30, 6, 4]), 10);
+        let p = naive_subset_sum_first_fit(&items(&[30, 6, 4]), 10);
         assert_eq!(p.len(), 2);
         assert!(p.bins[0].is_oversize());
         assert_eq!(p.bins[1].used, 10);
     }
 
     #[test]
+    fn all_oversize_bins_precede_all_merged_bins() {
+        // Pins the documented contract: every oversize bin comes first, in
+        // input order, even when regular items arrive before the oversize
+        // ones — there is no interleaving by arrival position.
+        let p = naive_subset_sum_first_fit(&items(&[5, 30, 5, 40]), 10);
+        assert_eq!(p.len(), 3);
+        assert!(p.bins[0].is_oversize());
+        assert!(p.bins[1].is_oversize());
+        assert_eq!(p.bins[0].items[0].size, 30); // input order among oversize
+        assert_eq!(p.bins[1].items[0].size, 40);
+        assert!(!p.bins[2].is_oversize());
+        assert_eq!(p.bins[2].used, 10); // the two 5s merged at the back
+    }
+
+    #[test]
     fn never_overflows_regular_bins() {
         let sizes: Vec<u64> = (1..=50).map(|i| (i * 7) % 13 + 1).collect();
-        let p = subset_sum_first_fit(&Item::from_sizes(&sizes), 20);
+        let p = naive_subset_sum_first_fit(&Item::from_sizes(&sizes), 20);
         for b in &p.bins {
             assert!(b.is_oversize() || b.used <= 20);
         }
@@ -126,7 +152,7 @@ mod tests {
 
     #[test]
     fn empty_input() {
-        let p = subset_sum_first_fit(&[], 10);
+        let p = naive_subset_sum_first_fit(&[], 10);
         assert!(p.is_empty());
     }
 }

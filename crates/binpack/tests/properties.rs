@@ -3,8 +3,9 @@
 //! order/derivation laws.
 
 use binpack::{
-    derive_merged, first_fit, rebalance_uniform, subset_sum_first_fit, uniform_k_bins, Algorithm,
-    Item,
+    best_fit, derive_merged, derive_probe_chain, derive_probe_chain_par, first_fit, naive_best_fit,
+    naive_first_fit, naive_subset_sum_first_fit, naive_uniform_k_bins, rebalance_uniform,
+    subset_sum_first_fit, uniform_k_bins, Algorithm, Item, Parallelism,
 };
 use proptest::prelude::*;
 use std::collections::BTreeMap;
@@ -18,8 +19,7 @@ fn multiset(items: impl IntoIterator<Item = Item>) -> BTreeMap<(u64, u64), usize
 }
 
 fn arb_items() -> impl Strategy<Value = Vec<Item>> {
-    prop::collection::vec(0u64..5_000, 0..200)
-        .prop_map(|sizes| Item::from_sizes(&sizes))
+    prop::collection::vec(0u64..5_000, 0..200).prop_map(|sizes| Item::from_sizes(&sizes))
 }
 
 proptest! {
@@ -134,6 +134,51 @@ proptest! {
         // Greedy least-loaded keeps the spread below the largest item size.
         let largest = *sizes.iter().max().unwrap();
         prop_assert!(max - min <= largest, "spread {} > largest {}", max - min, largest);
+    }
+
+    // Differential properties: the index-structure kernels must produce
+    // bitwise identical packings to the retained naive references, across
+    // inputs that include zero-size, exact-capacity and oversize items
+    // (arb_items sizes span 0..5000 and caps 1..2000, so all three occur).
+
+    #[test]
+    fn fast_subset_sum_equals_naive(items in arb_items(), cap in 1u64..2_000) {
+        prop_assert_eq!(
+            subset_sum_first_fit(&items, cap),
+            naive_subset_sum_first_fit(&items, cap)
+        );
+    }
+
+    #[test]
+    fn fast_first_fit_equals_naive(items in arb_items(), cap in 1u64..2_000) {
+        prop_assert_eq!(first_fit(&items, cap), naive_first_fit(&items, cap));
+    }
+
+    #[test]
+    fn fast_best_fit_equals_naive(items in arb_items(), cap in 1u64..2_000) {
+        prop_assert_eq!(best_fit(&items, cap), naive_best_fit(&items, cap));
+    }
+
+    #[test]
+    fn fast_uniform_k_bins_equals_naive(items in arb_items(), k in 1usize..40) {
+        prop_assert_eq!(uniform_k_bins(&items, k), naive_uniform_k_bins(&items, k));
+    }
+
+    #[test]
+    fn parallel_chain_equals_sequential(
+        items in arb_items(),
+        cap in 1u64..2_000,
+        factors in prop::collection::vec(1usize..16, 0..8),
+    ) {
+        let base = subset_sum_first_fit(&items, cap);
+        let seq = derive_probe_chain(&base, &factors);
+        for par in [Parallelism::Sequential, Parallelism::Rayon(0), Parallelism::Rayon(4)] {
+            prop_assert_eq!(
+                &seq,
+                &derive_probe_chain_par(&base, &factors, par),
+                "parallel chain diverged under {:?}", par
+            );
+        }
     }
 
     #[test]

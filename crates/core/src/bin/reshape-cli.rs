@@ -111,7 +111,9 @@ fn main() {
         growth: 5,
         max_volume: total / 2,
         repeats: 5,
-        s0: (manifest.max_file_size() + 1).next_power_of_two().max(1_000_000),
+        s0: (manifest.max_file_size() + 1)
+            .next_power_of_two()
+            .max(1_000_000),
         factors: vec![10, 50, 100],
         stability_cv: 0.20,
         min_sets: 3,
@@ -151,7 +153,12 @@ fn main() {
         return;
     }
 
-    println!("corpus      : {} ({} files, {} B)", workload.manifest.name, workload.manifest.len(), workload.manifest.total_volume());
+    println!(
+        "corpus      : {} ({} files, {} B)",
+        workload.manifest.name,
+        workload.manifest.len(),
+        workload.manifest.total_volume()
+    );
     match report.unit {
         UnitSize::Original => println!("unit size   : original segmentation"),
         UnitSize::Bytes(b) => println!("unit size   : {b} B"),

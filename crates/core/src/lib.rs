@@ -43,11 +43,11 @@ pub use pipeline::{
     FitWeighting, ModelSelection, Pipeline, PipelineConfig, PipelineError, PipelineReport,
     RefitConfig,
 };
-pub use reshape_step::{reshape_manifest, ReshapeOutcome};
+pub use reshape_step::{reshape_manifest, reshape_manifest_par, ReshapeOutcome};
 pub use workload::{App, Workload};
 
 // Re-export the pieces users compose with.
-pub use binpack::{Algorithm, PackingStats};
+pub use binpack::{Algorithm, PackingStats, Parallelism};
 pub use corpus::{FileSpec, Manifest};
 pub use ec2sim::{Cloud, CloudConfig};
 pub use perfmodel::{Fit, ModelKind, ProbeCampaign, UnitSize};

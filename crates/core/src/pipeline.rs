@@ -1,8 +1,9 @@
 //! The end-to-end pipeline: screen → probe → choose unit → reshape → fit →
 //! (refit) → plan → execute.
 
-use crate::reshape_step::{reshape_manifest, ReshapeOutcome};
+use crate::reshape_step::{reshape_manifest_par, ReshapeOutcome};
 use crate::workload::Workload;
+use binpack::Parallelism;
 use corpus::{sample_by_volume, FileSpec, Manifest};
 use ec2sim::{
     acquire_good_instance, Cloud, CloudConfig, CloudError, DataLocation, InstanceId,
@@ -13,9 +14,7 @@ use perfmodel::{
     select_by_cross_validation, volume_weights, Fit, ModelKind, ProbeCampaign, ProbeSetResult,
     UnitSize,
 };
-use provision::{
-    execute_plan, make_plan, ExecutionConfig, ExecutionReport, StagingTier, Strategy,
-};
+use provision::{execute_plan, make_plan, ExecutionConfig, ExecutionReport, StagingTier, Strategy};
 use serde::{Deserialize, Serialize};
 
 /// Random-sample refit parameters (§5.1: 10×2 GB for grep; §5.2: 3×5 MB
@@ -75,6 +74,9 @@ pub struct PipelineConfig {
     /// Also screen every fleet instance before use (bonnie gate applied
     /// fleet-wide).
     pub screen_fleet: bool,
+    /// How the probe-construction and reshape stages execute their
+    /// data-parallel sweeps. Results are identical for every setting.
+    pub parallelism: Parallelism,
 }
 
 impl Default for PipelineConfig {
@@ -90,6 +92,7 @@ impl Default for PipelineConfig {
             refit: None,
             screening: ScreeningPolicy::default(),
             screen_fleet: true,
+            parallelism: Parallelism::default(),
         }
     }
 }
@@ -126,7 +129,10 @@ impl std::fmt::Display for PipelineError {
                 write!(f, "not enough distinct volumes to fit a model")
             }
             PipelineError::InfeasibleDeadline { deadline_secs } => {
-                write!(f, "deadline of {deadline_secs}s is unreachable under the model")
+                write!(
+                    f,
+                    "deadline of {deadline_secs}s is unreachable under the model"
+                )
             }
         }
     }
@@ -195,24 +201,26 @@ impl Pipeline {
         let probe_sets = {
             let cloud_ref = &mut cloud;
             let err_ref = &mut measure_err;
-            self.config.probe.run(&workload.manifest, |files| {
-                match cloud_ref.run_app(probe_inst, model, files, probe_data) {
+            self.config.probe.run_with(
+                &workload.manifest,
+                |files| match cloud_ref.run_app(probe_inst, model, files, probe_data) {
                     Ok(r) => r.observed_secs,
                     Err(e) => {
                         *err_ref = Some(e);
                         f64::NAN
                     }
-                }
-            })
+                },
+                self.config.parallelism,
+            )
         };
         if let Some(e) = measure_err {
             return Err(e.into());
         }
-        let unit =
-            choose_unit_size(&probe_sets, self.config.probe.stability_cv).ok_or(PipelineError::NoProbes)?;
+        let unit = choose_unit_size(&probe_sets, self.config.probe.stability_cv)
+            .ok_or(PipelineError::NoProbes)?;
 
         // 3. Reshape the corpus to the chosen unit.
-        let reshape = reshape_manifest(&workload.manifest, unit);
+        let reshape = reshape_manifest_par(&workload.manifest, unit, self.config.parallelism);
 
         // 4. Fit runtime = f(volume) from the chosen unit's measurements.
         let (xs, ys) = observations_at_unit(&probe_sets, unit);
@@ -302,7 +310,11 @@ impl Pipeline {
             FitWeighting::Volume => Some(volume_weights(xs)),
             FitWeighting::InverseVariance => {
                 let noise = self.config.cloud.noise;
-                Some(inverse_variance_weights(ys, noise.base_rel, noise.short_rel))
+                Some(inverse_variance_weights(
+                    ys,
+                    noise.base_rel,
+                    noise.short_rel,
+                ))
             }
         };
         match (self.config.selection, weights) {
@@ -413,10 +425,7 @@ mod tests {
         assert_ne!(report.unit, UnitSize::Original, "unit {:?}", report.unit);
         assert!(report.reshape.merge_ratio() > 2.0);
         assert!(report.planned_instances >= 1);
-        assert_eq!(
-            report.execution.runs.len(),
-            report.planned_instances
-        );
+        assert_eq!(report.execution.runs.len(), report.planned_instances);
         assert!(report.fit.r2 > 0.8, "poor fit r2 = {}", report.fit.r2);
     }
 
@@ -449,10 +458,7 @@ mod tests {
         let manifest = corpus::html_18mil(0.0005, 5);
         let workload = Workload::new(manifest, App::grep("zxqv"));
         let err = Pipeline::new(grep_config(1.0e-6)).run(&workload);
-        assert!(matches!(
-            err,
-            Err(PipelineError::InfeasibleDeadline { .. })
-        ));
+        assert!(matches!(err, Err(PipelineError::InfeasibleDeadline { .. })));
     }
 
     #[test]
@@ -467,6 +473,23 @@ mod tests {
         let report = Pipeline::new(config).run(&workload).unwrap();
         let base = report.base_fit.expect("base fit recorded");
         assert_ne!(base.a, report.fit.a);
+    }
+
+    #[test]
+    fn pipeline_report_identical_across_parallelism_settings() {
+        let manifest = corpus::html_18mil(0.0005, 9);
+        let workload = Workload::new(manifest, App::grep("zxqv"));
+        let baseline = {
+            let mut c = grep_config(10.0);
+            c.parallelism = Parallelism::Sequential;
+            Pipeline::new(c).run(&workload).unwrap()
+        };
+        for par in [Parallelism::Rayon(0), Parallelism::Rayon(4)] {
+            let mut c = grep_config(10.0);
+            c.parallelism = par;
+            let report = Pipeline::new(c).run(&workload).unwrap();
+            assert_eq!(baseline, report, "pipeline diverged under {par:?}");
+        }
     }
 
     #[test]

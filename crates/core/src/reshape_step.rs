@@ -1,9 +1,10 @@
 //! The reshape step: merge a corpus's files into unit files of the chosen
 //! size with subset-sum first fit.
 
-use binpack::{subset_sum_first_fit, Item, PackingStats};
+use binpack::{subset_sum_first_fit, Item, PackingStats, Parallelism};
 use corpus::{FileSpec, Manifest};
 use perfmodel::UnitSize;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// The result of reshaping a corpus.
@@ -74,22 +75,7 @@ pub fn reshape_manifest(manifest: &Manifest, unit: UnitSize) -> ReshapeOutcome {
                 .iter()
                 .enumerate()
                 .filter(|(_, b)| !b.is_empty())
-                .map(|(i, b)| {
-                    let mut weighted = 0.0f64;
-                    for it in &b.items {
-                        let f = &manifest.files[it.id as usize];
-                        weighted += f.complexity * f.size as f64;
-                    }
-                    FileSpec {
-                        id: i as u64,
-                        size: b.used,
-                        complexity: if b.used > 0 {
-                            weighted / b.used as f64
-                        } else {
-                            1.0
-                        },
-                    }
-                })
+                .map(|(i, b)| bin_to_file(i, b, manifest))
                 .collect();
             ReshapeOutcome {
                 unit,
@@ -98,6 +84,67 @@ pub fn reshape_manifest(manifest: &Manifest, unit: UnitSize) -> ReshapeOutcome {
                 original_files: manifest.len(),
             }
         }
+    }
+}
+
+/// [`reshape_manifest`] with the per-bin complexity aggregation fanned out
+/// across workers. The packing itself is sequential (the greedy kernel is
+/// order-dependent), but turning each bin into a unit-file spec is
+/// independent work; bins are gathered in bin order, so the outcome is
+/// identical to the sequential reshape for every [`Parallelism`] setting.
+pub fn reshape_manifest_par(
+    manifest: &Manifest,
+    unit: UnitSize,
+    parallelism: Parallelism,
+) -> ReshapeOutcome {
+    match unit {
+        UnitSize::Original => reshape_manifest(manifest, unit),
+        UnitSize::Bytes(target) => {
+            let items: Vec<Item> = manifest
+                .files
+                .iter()
+                .enumerate()
+                .map(|(i, f)| Item::new(i as u64, f.size))
+                .collect();
+            let packing = subset_sum_first_fit(&items, target);
+            let nonempty: Vec<(usize, &binpack::Bin)> = packing
+                .bins
+                .iter()
+                .enumerate()
+                .filter(|(_, b)| !b.is_empty())
+                .collect();
+            let files = parallelism.install(|| {
+                nonempty
+                    .par_iter()
+                    .map(|&(i, b)| bin_to_file(i, b, manifest))
+                    .collect()
+            });
+            ReshapeOutcome {
+                unit,
+                files,
+                stats: PackingStats::of(&packing),
+                original_files: manifest.len(),
+            }
+        }
+    }
+}
+
+/// Collapse one bin into a unit-file spec carrying the size-weighted mean
+/// complexity of its members.
+fn bin_to_file(index: usize, bin: &binpack::Bin, manifest: &Manifest) -> FileSpec {
+    let mut weighted = 0.0f64;
+    for it in &bin.items {
+        let f = &manifest.files[it.id as usize];
+        weighted += f.complexity * f.size as f64;
+    }
+    FileSpec {
+        id: index as u64,
+        size: bin.used,
+        complexity: if bin.used > 0 {
+            weighted / bin.used as f64
+        } else {
+            1.0
+        },
     }
 }
 
@@ -138,6 +185,28 @@ mod tests {
         let out = reshape_manifest(&m, UnitSize::Bytes(1_000));
         assert!(out.files.iter().any(|f| f.size == 5_000));
         assert_eq!(out.stats.oversize_bins, 1);
+    }
+
+    #[test]
+    fn parallel_reshape_equals_sequential() {
+        let mut m = manifest(&[300, 700, 500, 500, 999, 1, 5_000, 0, 250]);
+        for (i, f) in m.files.iter_mut().enumerate() {
+            f.complexity = 1.0 + (i % 4) as f64 * 0.25;
+        }
+        for unit in [UnitSize::Original, UnitSize::Bytes(1_000)] {
+            let seq = reshape_manifest(&m, unit);
+            for par in [
+                Parallelism::Sequential,
+                Parallelism::Rayon(0),
+                Parallelism::Rayon(3),
+            ] {
+                assert_eq!(
+                    seq,
+                    reshape_manifest_par(&m, unit, par),
+                    "diverged under {par:?}"
+                );
+            }
+        }
     }
 
     #[test]

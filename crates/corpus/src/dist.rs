@@ -219,8 +219,16 @@ mod tests {
     #[test]
     fn pareto_tail_heavier_with_smaller_alpha() {
         let mut r = rng();
-        let heavy = Pareto { x_min: 1_000.0, alpha: 0.8, max: u64::MAX };
-        let light = Pareto { x_min: 1_000.0, alpha: 3.0, max: u64::MAX };
+        let heavy = Pareto {
+            x_min: 1_000.0,
+            alpha: 0.8,
+            max: u64::MAX,
+        };
+        let light = Pareto {
+            x_min: 1_000.0,
+            alpha: 3.0,
+            max: u64::MAX,
+        };
         let n = 10_000;
         let big_heavy = (0..n).filter(|_| heavy.sample(&mut r) > 100_000).count();
         let big_light = (0..n).filter(|_| light.sample(&mut r) > 100_000).count();
@@ -230,7 +238,11 @@ mod tests {
     #[test]
     fn pareto_never_below_x_min() {
         let mut r = rng();
-        let d = Pareto { x_min: 500.0, alpha: 1.2, max: 1_000_000 };
+        let d = Pareto {
+            x_min: 500.0,
+            alpha: 1.2,
+            max: 1_000_000,
+        };
         for _ in 0..2_000 {
             let s = d.sample(&mut r);
             assert!((500..=1_000_000).contains(&s));
@@ -269,7 +281,12 @@ mod tests {
 
     #[test]
     fn samplers_are_deterministic_in_seed() {
-        let d = LogNormal { mu: 9.0, sigma: 1.0, min: 1, max: u64::MAX };
+        let d = LogNormal {
+            mu: 9.0,
+            sigma: 1.0,
+            min: 1,
+            max: u64::MAX,
+        };
         let a: Vec<u64> = {
             let mut r = StdRng::seed_from_u64(7);
             (0..100).map(|_| d.sample(&mut r)).collect()

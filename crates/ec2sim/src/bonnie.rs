@@ -131,8 +131,7 @@ pub fn screen_at(
     }
     let mean = reads.iter().sum::<f64>() / reads.len() as f64;
     let cv = if reads.len() > 1 {
-        let var =
-            reads.iter().map(|r| (r - mean).powi(2)).sum::<f64>() / (reads.len() - 1) as f64;
+        let var = reads.iter().map(|r| (r - mean).powi(2)).sum::<f64>() / (reads.len() - 1) as f64;
         var.sqrt() / mean
     } else {
         0.0
@@ -159,8 +158,8 @@ pub fn acquire_good_instance(
         let reads: Vec<f64> = reports.iter().map(|r| r.block_read_mbps).collect();
         let mean = reads.iter().sum::<f64>() / reads.len() as f64;
         let cv = if reads.len() > 1 {
-            let var = reads.iter().map(|r| (r - mean).powi(2)).sum::<f64>()
-                / (reads.len() - 1) as f64;
+            let var =
+                reads.iter().map(|r| (r - mean).powi(2)).sum::<f64>() / (reads.len() - 1) as f64;
             var.sqrt() / mean
         } else {
             0.0
@@ -235,9 +234,8 @@ mod tests {
     fn screening_advances_clock() {
         let mut cloud = Cloud::new(CloudConfig::default());
         let before = cloud.now();
-        let _ =
-            acquire_good_instance(&mut cloud, InstanceType::Small, zone(), &Default::default())
-                .unwrap();
+        let _ = acquire_good_instance(&mut cloud, InstanceType::Small, zone(), &Default::default())
+            .unwrap();
         assert!(cloud.now() > before + 100.0); // boot + two bonnie runs
     }
 }

@@ -434,12 +434,9 @@ impl Cloud {
         if instance.terminated_at.is_some() {
             return Err(CloudError::Terminated(inst));
         }
-        let start = not_before.max(instance.running_at).max(
-            self.busy
-                .get(&inst)
-                .copied()
-                .unwrap_or(instance.running_at),
-        );
+        let start = not_before
+            .max(instance.running_at)
+            .max(self.busy.get(&inst).copied().unwrap_or(instance.running_at));
         let bytes: u64 = files.iter().map(|f| f.size).sum();
         let jitter = instance.quality.jitter_rel;
         let env = self.exec_env(inst, &data, bytes)?;
@@ -590,7 +587,11 @@ mod tests {
         assert_eq!(cloud.state(id).unwrap(), InstanceState::Pending);
         cloud.wait_until_running(id).unwrap();
         assert_eq!(cloud.state(id).unwrap(), InstanceState::Running);
-        assert!(cloud.now() >= 140.0 && cloud.now() <= 220.0, "{}", cloud.now());
+        assert!(
+            cloud.now() >= 140.0 && cloud.now() <= 220.0,
+            "{}",
+            cloud.now()
+        );
     }
 
     #[test]

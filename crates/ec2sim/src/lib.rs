@@ -51,8 +51,8 @@ pub use cloud::{Cloud, CloudConfig, DataLocation, RunReport};
 pub use error::CloudError;
 pub use instance::{Instance, InstanceId, InstanceQuality, InstanceState};
 pub use noise::NoiseModel;
-pub use spot::{SpotMarket, SpotOutcome, SpotRequest};
 pub use retrieval::RetrievalModel;
+pub use spot::{SpotMarket, SpotOutcome, SpotRequest};
 pub use storage::{EbsVolume, ObjectStore, VolumeId};
 pub use transfer::{TransferKind, TransferPricing};
 pub use types::{AvailabilityZone, InstanceType, Region};

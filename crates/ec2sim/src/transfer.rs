@@ -52,9 +52,7 @@ impl TransferPricing {
         let gb = bytes as f64 / 1.0e9;
         match kind {
             TransferKind::IngressFromInternet => gb * self.ingress_per_gb,
-            TransferKind::EgressToInternet | TransferKind::InterRegion => {
-                gb * self.egress_per_gb
-            }
+            TransferKind::EgressToInternet | TransferKind::InterRegion => gb * self.egress_per_gb,
             TransferKind::IntraZone => 0.0,
             TransferKind::InterZone => gb * self.inter_zone_per_gb,
         }

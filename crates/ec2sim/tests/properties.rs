@@ -2,8 +2,8 @@
 //! arithmetic, noise statistics, spot accounting.
 
 use ec2sim::{
-    billed_hours, Cloud, CloudConfig, EbsVolume, InstanceType, NoiseModel, SpotMarket,
-    SpotRequest, VolumeId,
+    billed_hours, Cloud, CloudConfig, EbsVolume, InstanceType, NoiseModel, SpotMarket, SpotRequest,
+    VolumeId,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;

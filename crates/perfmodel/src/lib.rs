@@ -29,7 +29,8 @@ pub mod weighted;
 pub use crossval::{cross_validate, select_by_cross_validation, CvScore};
 pub use deadline::{adjusted_deadline, adjustment_factor, inverse_normal_cdf, ResidualStats};
 pub use probe::{
-    build_probe_chain, choose_unit_size, ProbeCampaign, ProbePoint, ProbeSetResult, UnitSize,
+    build_probe_chain, build_probe_chain_par, choose_unit_size, ProbeCampaign, ProbePoint,
+    ProbeSetResult, UnitSize,
 };
 pub use regression::{fit, fit_all, select_best, Fit, ModelKind};
 pub use stats::Measurement;

@@ -15,8 +15,9 @@
 //! situation of Fig 3.
 
 use crate::stats::Measurement;
-use binpack::{derive_merged, subset_sum_first_fit, Item};
+use binpack::{derive_merged, subset_sum_first_fit, Item, Parallelism};
 use corpus::{FileSpec, Manifest};
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// Unit file size of a probe.
@@ -115,6 +116,56 @@ pub fn build_probe_chain(subset: &Manifest, s0: u64, factors: &[usize]) -> Vec<P
     points
 }
 
+/// [`build_probe_chain`] with the derived unit sizes constructed
+/// concurrently. The `s0` packing itself is a sequential greedy pass, but
+/// every factor's merge-and-aggregate step depends only on that base
+/// packing, so the chain fans out one task per factor. Results are gathered
+/// in factor order and are identical to the sequential chain for any
+/// [`Parallelism`] setting.
+pub fn build_probe_chain_par(
+    subset: &Manifest,
+    s0: u64,
+    factors: &[usize],
+    parallelism: Parallelism,
+) -> Vec<ProbePoint> {
+    let volume = subset.total_volume();
+    let items: Vec<Item> = subset
+        .files
+        .iter()
+        .enumerate()
+        .map(|(i, f)| Item::new(i as u64, f.size))
+        .collect();
+    let base = subset_sum_first_fit(&items, s0);
+
+    let mut points = Vec::with_capacity(factors.len() + 2);
+    points.push(ProbePoint {
+        volume,
+        unit: UnitSize::Original,
+        files: subset.files.clone(),
+    });
+    points.push(ProbePoint {
+        volume,
+        unit: UnitSize::Bytes(s0),
+        files: bins_to_files(&base, &subset.files),
+    });
+    let merge_factors: Vec<usize> = factors.iter().copied().filter(|&m| m > 1).collect();
+    let derived: Vec<ProbePoint> = parallelism.install(|| {
+        merge_factors
+            .par_iter()
+            .map(|&m| {
+                let merged = derive_merged(&base, m);
+                ProbePoint {
+                    volume,
+                    unit: UnitSize::Bytes(s0 * m as u64),
+                    files: bins_to_files(&merged, &subset.files),
+                }
+            })
+            .collect()
+    });
+    points.extend(derived);
+    points
+}
+
 /// The measured outcome of one probe set (all unit sizes at one volume).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ProbeSetResult {
@@ -178,7 +229,21 @@ impl ProbeCampaign {
     pub fn run(
         &self,
         manifest: &Manifest,
+        measure: impl FnMut(&[FileSpec]) -> f64,
+    ) -> Vec<ProbeSetResult> {
+        self.run_with(manifest, measure, Parallelism::default())
+    }
+
+    /// [`ProbeCampaign::run`] with an explicit [`Parallelism`] setting for
+    /// probe construction. Probe files for the derived unit sizes are built
+    /// concurrently; the measurement loop itself stays sequential (repeated
+    /// timed runs must not contend with each other). Results are identical
+    /// for every setting.
+    pub fn run_with(
+        &self,
+        manifest: &Manifest,
         mut measure: impl FnMut(&[FileSpec]) -> f64,
+        parallelism: Parallelism,
     ) -> Vec<ProbeSetResult> {
         assert!(self.growth >= 2, "growth factor must be at least 2");
         let mut results = Vec::new();
@@ -188,7 +253,7 @@ impl ProbeCampaign {
             if subset.is_empty() {
                 break;
             }
-            let chain = build_probe_chain(&subset, self.s0, &self.factors);
+            let chain = build_probe_chain_par(&subset, self.s0, &self.factors, parallelism);
             let points = chain
                 .iter()
                 .map(|p| {
@@ -203,9 +268,7 @@ impl ProbeCampaign {
             let stable = result.is_stable(self.stability_cv);
             results.push(result);
             let enough = results.len() >= self.min_sets.max(1);
-            if (stable && enough)
-                || volume >= self.max_volume
-                || volume >= manifest.total_volume()
+            if (stable && enough) || volume >= self.max_volume || volume >= manifest.total_volume()
             {
                 break;
             }
@@ -363,7 +426,11 @@ mod tests {
         let only = ProbeSetResult {
             volume: 1_000,
             points: vec![
-                (UnitSize::Original, 5, Measurement::new(1_000, vec![1.0, 3.0])),
+                (
+                    UnitSize::Original,
+                    5,
+                    Measurement::new(1_000, vec![1.0, 3.0]),
+                ),
                 (
                     UnitSize::Bytes(500),
                     2,

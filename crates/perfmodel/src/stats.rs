@@ -31,8 +31,8 @@ impl Measurement {
             return 0.0;
         }
         let m = self.mean();
-        let var = self.runs.iter().map(|r| (r - m).powi(2)).sum::<f64>()
-            / (self.runs.len() - 1) as f64;
+        let var =
+            self.runs.iter().map(|r| (r - m).powi(2)).sum::<f64>() / (self.runs.len() - 1) as f64;
         var.sqrt()
     }
 

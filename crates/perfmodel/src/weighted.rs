@@ -35,11 +35,7 @@ fn wls(xs: &[f64], ys: &[f64], ws: &[f64]) -> (f64, f64) {
         .zip(ws)
         .map(|((&x, &y), &w)| w * (x - mx) * (y - my))
         .sum();
-    let sxx: f64 = xs
-        .iter()
-        .zip(ws)
-        .map(|(&x, &w)| w * (x - mx).powi(2))
-        .sum();
+    let sxx: f64 = xs.iter().zip(ws).map(|(&x, &w)| w * (x - mx).powi(2)).sum();
     let slope = if sxx == 0.0 { 0.0 } else { sxy / sxx };
     (my - slope * mx, slope)
 }

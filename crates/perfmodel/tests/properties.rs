@@ -3,9 +3,10 @@
 //! adjusted deadlines behave monotonically, and probe construction
 //! conserves volume.
 
+use binpack::Parallelism;
 use perfmodel::{
-    adjusted_deadline, adjustment_factor, build_probe_chain, fit, fit_weighted,
-    inverse_normal_cdf, volume_weights, Measurement, ModelKind, ResidualStats,
+    adjusted_deadline, adjustment_factor, build_probe_chain, build_probe_chain_par, fit,
+    fit_weighted, inverse_normal_cdf, volume_weights, Measurement, ModelKind, ResidualStats,
 };
 use proptest::prelude::*;
 
@@ -138,6 +139,30 @@ proptest! {
         for p in &chain {
             let total: u64 = p.files.iter().map(|f| f.size).sum();
             prop_assert_eq!(total, expect);
+        }
+    }
+
+    #[test]
+    fn parallel_probe_chain_equals_sequential(
+        n_files in 10usize..200,
+        seed in 0u64..1_000,
+        s0_kb in 5u64..50,
+    ) {
+        // Mixed sizes and complexities derived from the seed; construction
+        // must be a pure function of the manifest, not of the parallelism.
+        let files: Vec<corpus::FileSpec> = (0..n_files as u64)
+            .map(|i| {
+                let mut f = corpus::FileSpec::new(i, (seed * 37 + i * 7919) % 20_000 + 1);
+                f.complexity = 0.5 + ((seed + i) % 10) as f64 / 5.0;
+                f
+            })
+            .collect();
+        let m = corpus::Manifest::new("p", files, seed);
+        let factors = [2usize, 5, 10, 50];
+        let seq = build_probe_chain(&m, s0_kb * 1_000, &factors);
+        for par in [Parallelism::Sequential, Parallelism::Rayon(0), Parallelism::Rayon(3)] {
+            let got = build_probe_chain_par(&m, s0_kb * 1_000, &factors, par);
+            prop_assert_eq!(&seq, &got, "probe chain diverged under {:?}", par);
         }
     }
 

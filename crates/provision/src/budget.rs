@@ -141,9 +141,7 @@ mod tests {
         let p = PricingModel::default();
         let mut last = f64::INFINITY;
         for budget_hours in [1.0, 2.0, 4.0, 8.0, 16.0] {
-            if let Some(plan) =
-                plan_within_budget(&files(8), &m, budget_hours * 0.085, &p, 64)
-            {
+            if let Some(plan) = plan_within_budget(&files(8), &m, budget_hours * 0.085, &p, 64) {
                 assert!(
                     plan.predicted_makespan_secs <= last + 1e-6,
                     "budget {budget_hours}h made things slower"
@@ -179,8 +177,6 @@ mod tests {
         // ~7.8 work-hours => 8 billed hours.
         assert!(cheap.predicted_cost <= 8.0 * 0.085 + 1e-9);
         // And no budget below it is feasible.
-        assert!(
-            plan_within_budget(&files(8), &m, cheap.predicted_cost * 0.9, &p, 64).is_none()
-        );
+        assert!(plan_within_budget(&files(8), &m, cheap.predicted_cost * 0.9, &p, 64).is_none());
     }
 }

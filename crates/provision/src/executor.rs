@@ -188,9 +188,7 @@ mod tests {
         let ys: Vec<f64> = xs
             .iter()
             .enumerate()
-            .map(|(k, &x)| {
-                1.0 + x / 75.0e6 * (1.0 + 0.01 * if k % 2 == 0 { 1.0 } else { -1.0 })
-            })
+            .map(|(k, &x)| 1.0 + x / 75.0e6 * (1.0 + 0.01 * if k % 2 == 0 { 1.0 } else { -1.0 }))
             .collect();
         fit(ModelKind::Affine, &xs, &ys)
     }
@@ -274,8 +272,7 @@ mod tests {
             stage_in_secs: 25.0,
             ..ExecutionConfig::default()
         };
-        let report =
-            execute_plan(&mut cloud, &plan, &GrepCostModel::default(), &cfg).unwrap();
+        let report = execute_plan(&mut cloud, &plan, &GrepCostModel::default(), &cfg).unwrap();
         for r in &report.runs {
             assert!(r.job_secs >= 25.0);
         }

@@ -17,8 +17,8 @@
 
 pub mod budget;
 pub mod dynamic;
-pub mod montecarlo;
 pub mod executor;
+pub mod montecarlo;
 pub mod plan;
 pub mod pricing;
 pub mod quality_aware;
@@ -28,8 +28,8 @@ pub mod workflow;
 
 pub use budget::{cheapest_plan, plan_within_budget, BudgetPlan};
 pub use dynamic::{execute_dynamic, DynamicConfig, DynamicReport};
-pub use montecarlo::{evaluate_plan, PlanDistribution};
 pub use executor::{execute_plan, ExecutionConfig, ExecutionReport, InstanceRun, StagingTier};
+pub use montecarlo::{evaluate_plan, PlanDistribution};
 pub use plan::{InstancePlan, Plan};
 pub use pricing::{cost_for_deadline, instance_hours, PricingModel};
 pub use quality_aware::{execute_quality_aware, QualityAwareConfig, QualityAwareReport};

@@ -85,9 +85,7 @@ mod tests {
         let xs: Vec<f64> = (1..=10).map(|i| i as f64 * 1.0e8).collect();
         let ys: Vec<f64> = xs.iter().map(|&x| 1.0 + x / 75.0e6).collect();
         let f = fit(ModelKind::Affine, &xs, &ys);
-        let files: Vec<FileSpec> = (0..40)
-            .map(|i| FileSpec::new(i, 100_000_000))
-            .collect();
+        let files: Vec<FileSpec> = (0..40).map(|i| FileSpec::new(i, 100_000_000)).collect();
         make_plan(Strategy::UniformBins, &files, &f, 25.0)
     }
 

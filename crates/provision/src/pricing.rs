@@ -77,9 +77,7 @@ mod tests {
     #[test]
     fn cost_monotone_in_work() {
         let p = PricingModel::default();
-        assert!(
-            cost_for_deadline(&p, 10.0, 2.0) <= cost_for_deadline(&p, 11.0, 2.0)
-        );
+        assert!(cost_for_deadline(&p, 10.0, 2.0) <= cost_for_deadline(&p, 11.0, 2.0));
     }
 
     #[test]

@@ -47,12 +47,7 @@ fn bins_to_filelists(packing: &binpack::Packing, files: &[FileSpec]) -> Vec<Vec<
 /// Panics if the model cannot be inverted at the deadline or prescribes a
 /// non-positive per-instance volume (deadline shorter than the model's
 /// fixed costs).
-pub fn make_plan(
-    strategy: Strategy,
-    files: &[FileSpec],
-    fit: &Fit,
-    deadline_secs: f64,
-) -> Plan {
+pub fn make_plan(strategy: Strategy, files: &[FileSpec], fit: &Fit, deadline_secs: f64) -> Plan {
     let total: u64 = files.iter().map(|f| f.size).sum();
     let invert_or_panic = |d: f64| -> u64 {
         let x = fit
@@ -147,7 +142,11 @@ mod tests {
         // 100 MB of work, deadline 10 s → x0 ≈ 10 MB → 10 instances.
         let files = corpus_files(100, 1_000_000);
         let plan = make_plan(Strategy::CapacityDriven, &files, &m, 10.0);
-        assert!((9..=11).contains(&plan.instance_count()), "{}", plan.instance_count());
+        assert!(
+            (9..=11).contains(&plan.instance_count()),
+            "{}",
+            plan.instance_count()
+        );
         assert_eq!(plan.total_volume(), 100_000_000);
     }
 
@@ -175,12 +174,7 @@ mod tests {
     fn adjusted_deadline_never_plans_later() {
         let m = model();
         let files = corpus_files(100, 1_000_000);
-        let adj = make_plan(
-            Strategy::AdjustedDeadline { p_miss: 0.1 },
-            &files,
-            &m,
-            10.0,
-        );
+        let adj = make_plan(Strategy::AdjustedDeadline { p_miss: 0.1 }, &files, &m, 10.0);
         assert!(adj.planning_deadline_secs <= adj.deadline_secs);
         // More conservative planning can only grow the fleet.
         let uni = make_plan(Strategy::UniformBins, &files, &m, 10.0);

@@ -42,7 +42,10 @@ pub fn switch_analysis(
     penalty_secs: f64,
     p_fast: f64,
 ) -> SwitchAnalysis {
-    assert!((0.0..=1.0).contains(&p_fast), "p_fast must be a probability");
+    assert!(
+        (0.0..=1.0).contains(&p_fast),
+        "p_fast must be a probability"
+    );
     assert!(penalty_secs <= horizon_secs, "penalty exceeds the horizon");
     let keep = slow_bps * horizon_secs;
     let switch_fast = fast_bps * (horizon_secs - penalty_secs);
@@ -70,9 +73,17 @@ mod tests {
         // Paper: ≈210 GB if kept (we get 216 — the paper rounds down).
         assert!((a.keep_bytes / GB - 216.0).abs() < 1.0);
         // Paper: extra ≈57 GB when the replacement is fast.
-        assert!((a.gain_if_fast / GB - 57.6).abs() < 2.0, "{}", a.gain_if_fast / GB);
+        assert!(
+            (a.gain_if_fast / GB - 57.6).abs() < 2.0,
+            "{}",
+            a.gain_if_fast / GB
+        );
         // Paper: miss ≈10 GB when the replacement is slow again.
-        assert!((a.loss_if_slow / GB - 10.8).abs() < 1.0, "{}", a.loss_if_slow / GB);
+        assert!(
+            (a.loss_if_slow / GB - 10.8).abs() < 1.0,
+            "{}",
+            a.loss_if_slow / GB
+        );
     }
 
     #[test]

@@ -240,8 +240,7 @@ mod tests {
 
     #[test]
     fn subdeadlines_are_hour_aligned_and_fit() {
-        let s = schedule_workflow(&stages(), &input(4), 6.0 * 3600.0, &Default::default())
-            .unwrap();
+        let s = schedule_workflow(&stages(), &input(4), 6.0 * 3600.0, &Default::default()).unwrap();
         assert_eq!(s.stages.len(), 3);
         let total: f64 = s.stages.iter().map(|p| p.subdeadline_secs).sum();
         assert!(total <= 6.0 * 3600.0 + 1e-9);
@@ -258,8 +257,7 @@ mod tests {
 
     #[test]
     fn heavy_stage_gets_most_hours() {
-        let s = schedule_workflow(&stages(), &input(4), 6.0 * 3600.0, &Default::default())
-            .unwrap();
+        let s = schedule_workflow(&stages(), &input(4), 6.0 * 3600.0, &Default::default()).unwrap();
         let tag_hours = s.stages[1].subdeadline_secs / 3600.0;
         assert!(
             tag_hours >= 3.0,
@@ -269,8 +267,7 @@ mod tests {
 
     #[test]
     fn volume_chains_through_factors() {
-        let s = schedule_workflow(&stages(), &input(4), 6.0 * 3600.0, &Default::default())
-            .unwrap();
+        let s = schedule_workflow(&stages(), &input(4), 6.0 * 3600.0, &Default::default()).unwrap();
         assert_eq!(s.stages[0].input_volume, 4_000_000_000);
         assert_eq!(s.stages[1].input_volume, 3_600_000_000); // ×0.9
         assert_eq!(s.stages[2].input_volume, 5_400_000_000); // ×1.5
@@ -278,15 +275,14 @@ mod tests {
 
     #[test]
     fn too_short_deadline_rejected() {
-        let err = schedule_workflow(&stages(), &input(1), 2.0 * 3600.0, &Default::default())
-            .unwrap_err();
+        let err =
+            schedule_workflow(&stages(), &input(1), 2.0 * 3600.0, &Default::default()).unwrap_err();
         assert!(matches!(err, WorkflowError::DeadlineTooShort { .. }));
     }
 
     #[test]
     fn every_stage_plan_predicted_feasible() {
-        let s = schedule_workflow(&stages(), &input(2), 5.0 * 3600.0, &Default::default())
-            .unwrap();
+        let s = schedule_workflow(&stages(), &input(2), 5.0 * 3600.0, &Default::default()).unwrap();
         for p in &s.stages {
             assert!(
                 p.plan.predicted_makespan() <= p.subdeadline_secs + 1e-6,

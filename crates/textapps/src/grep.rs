@@ -99,7 +99,9 @@ impl Grep {
                 outcome.matching_lines += 1;
                 outcome.occurrences += c;
                 if self.capture_lines {
-                    outcome.lines.push(String::from_utf8_lossy(line).into_owned());
+                    outcome
+                        .lines
+                        .push(String::from_utf8_lossy(line).into_owned());
                 }
             }
         }
@@ -205,10 +207,7 @@ mod tests {
         let g = Grep::new("tion");
         let src = b"antiodisestablishmentarianification";
         let hay: Vec<u8> = (0..10_000usize).map(|i| src[i % src.len()]).collect();
-        let naive = hay
-            .windows(4)
-            .filter(|w| *w == b"tion")
-            .count();
+        let naive = hay.windows(4).filter(|w| *w == b"tion").count();
         // BMH counts non-overlapping, naive counts all; "tion" cannot
         // overlap itself, so the counts agree.
         assert_eq!(g.count(&hay), naive);

@@ -198,8 +198,12 @@ mod tests {
             ..ExecEnv::nominal()
         };
         let n_orig = 2_000_000usize; // 100 GB / ~50 kB
-        let orig: Vec<FileSpec> = (0..n_orig as u64).map(|i| FileSpec::new(i, 50_000)).collect();
-        let units: Vec<FileSpec> = (0..1_000u64).map(|i| FileSpec::new(i, 100_000_000)).collect();
+        let orig: Vec<FileSpec> = (0..n_orig as u64)
+            .map(|i| FileSpec::new(i, 50_000))
+            .collect();
+        let units: Vec<FileSpec> = (0..1_000u64)
+            .map(|i| FileSpec::new(i, 100_000_000))
+            .collect();
         let ratio = m.runtime_secs(&orig, &env) / m.runtime_secs(&units, &env);
         assert!((3.4..7.8).contains(&ratio), "ratio {ratio}");
     }

@@ -27,7 +27,9 @@ fn logp(dist: &[(Tag, f64)]) -> [f64; N_TAGS] {
 /// Distribution over tags for an unknown word, from its suffix.
 pub fn suffix_guess(word: &str) -> [f64; N_TAGS] {
     let w = word.to_ascii_lowercase();
-    if w.chars().all(|c| c.is_ascii_digit() || c == '-' || c == '.') {
+    if w.chars()
+        .all(|c| c.is_ascii_digit() || c == '-' || c == '.')
+    {
         return logp(&[(Tag::Cd, 0.98), (Tag::Nn, 0.02)]);
     }
     if let Some(stem) = w.strip_suffix("ly") {
@@ -99,8 +101,8 @@ impl Lexicon {
             "was" | "were" | "had" | "did" | "would" | "could" | "should" | "might" => {
                 logp(&[(Tag::Vbd, 0.95), (Tag::Nn, 0.05)])
             }
-            "not" | "very" | "too" | "quite" | "never" | "always" | "often" | "here"
-            | "there" | "now" | "then" | "quickly" => {
+            "not" | "very" | "too" | "quite" | "never" | "always" | "often" | "here" | "there"
+            | "now" | "then" | "quickly" => {
                 logp(&[(Tag::Rb, 0.93), (Tag::Jj, 0.05), (Tag::Nn, 0.02)])
             }
             "one" | "two" | "three" | "four" | "five" | "six" | "seven" | "eight" | "nine"

@@ -72,7 +72,10 @@ impl Tag {
 
     /// Index of the tag in [`Tag::ALL`].
     pub fn index(self) -> usize {
-        Tag::ALL.iter().position(|&t| t == self).expect("tag in ALL")
+        Tag::ALL
+            .iter()
+            .position(|&t| t == self)
+            .expect("tag in ALL")
     }
 }
 
@@ -139,10 +142,7 @@ impl PosTagger {
     /// Tag a set of documents in one process (the paper's wrapper).
     /// Returns per-document sentence counts and the total tagged words, a
     /// compact summary suitable for large corpora.
-    pub fn tag_documents<'a>(
-        &self,
-        docs: impl IntoIterator<Item = &'a str>,
-    ) -> DocumentsSummary {
+    pub fn tag_documents<'a>(&self, docs: impl IntoIterator<Item = &'a str>) -> DocumentsSummary {
         let mut summary = DocumentsSummary::default();
         for doc in docs {
             let tagged = self.tag_text(doc);

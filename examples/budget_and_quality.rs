@@ -38,7 +38,10 @@ fn main() {
                 bp.predicted_makespan_secs,
                 bp.predicted_cost
             ),
-            None => println!("{budget:>10.3} {:>10} {:>18} {:>12}", "-", "infeasible", "-"),
+            None => println!(
+                "{budget:>10.3} {:>10} {:>18} {:>12}",
+                "-", "infeasible", "-"
+            ),
         }
     }
 

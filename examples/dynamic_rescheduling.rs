@@ -5,9 +5,7 @@
 
 use ec2sim::{Cloud, CloudConfig};
 use perfmodel::{fit, ModelKind};
-use provision::{
-    execute_plan, make_plan, DynamicConfig, ExecutionConfig, Strategy,
-};
+use provision::{execute_plan, make_plan, DynamicConfig, ExecutionConfig, Strategy};
 use textapps::GrepCostModel;
 
 fn main() {

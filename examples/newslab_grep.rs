@@ -8,8 +8,8 @@
 //! cost model.
 
 use reshape::{
-    App, ModelKind, ModelSelection, Pipeline, PipelineConfig, ProbeCampaign, StagingTier,
-    Strategy, Workload,
+    App, ModelKind, ModelSelection, Pipeline, PipelineConfig, ProbeCampaign, StagingTier, Strategy,
+    Workload,
 };
 // Fleet screening keeps consistently slow instances out of the run.
 use textapps::Grep;
@@ -28,7 +28,9 @@ fn main() {
         scanned += out.bytes_scanned;
         hits += out.occurrences;
     }
-    println!("real grep warm-up: scanned {scanned} bytes across 20 files, {hits} hits (expected 0)\n");
+    println!(
+        "real grep warm-up: scanned {scanned} bytes across 20 files, {hits} hits (expected 0)\n"
+    );
 
     let config = PipelineConfig {
         deadline_secs: 12.0,
@@ -61,7 +63,11 @@ fn main() {
 
     println!("probe sets measured: {}", report.probe_sets.len());
     for set in &report.probe_sets {
-        println!("  volume {:>11} B: {} unit sizes", set.volume, set.points.len());
+        println!(
+            "  volume {:>11} B: {} unit sizes",
+            set.volume,
+            set.points.len()
+        );
     }
     println!("chosen unit: {:?}", report.unit);
     println!(

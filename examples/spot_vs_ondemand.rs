@@ -14,7 +14,11 @@ fn main() {
         "spot market: {} steps, mean ${:.4}/h, range ${:.4}-{:.4}/h",
         market.prices().len(),
         mean_price,
-        market.prices().iter().cloned().fold(f64::INFINITY, f64::min),
+        market
+            .prices()
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min),
         market.prices().iter().cloned().fold(0.0f64, f64::max),
     );
 

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Full verification gate: build, lint, format, and test the workspace.
+#
+#   scripts/verify.sh          # everything
+#   scripts/verify.sh --fast   # skip clippy + fmt (tier-1 only)
+#
+# Tier-1 (ROADMAP.md) is `cargo build --release && cargo test -q`; this
+# script runs that plus workspace-wide tests, rustfmt and clippy so a clean
+# run here implies a clean CI run.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fast=0
+[[ "${1:-}" == "--fast" ]] && fast=1
+
+echo "==> cargo build --release"
+cargo build --release
+
+if [[ $fast -eq 0 ]]; then
+  echo "==> cargo fmt --check"
+  cargo fmt --check
+  echo "==> cargo clippy (workspace, -D warnings)"
+  cargo clippy --workspace --all-targets -- -D warnings
+fi
+
+echo "==> cargo test -q (tier-1)"
+cargo test -q
+echo "==> cargo test --workspace -q"
+cargo test --workspace -q
+
+echo "verify: OK"

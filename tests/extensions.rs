@@ -17,7 +17,9 @@ fn grep_fit() -> Fit {
 }
 
 fn unit_files(n: u64) -> Vec<corpus::FileSpec> {
-    (0..n).map(|i| corpus::FileSpec::new(i, 100_000_000)).collect()
+    (0..n)
+        .map(|i| corpus::FileSpec::new(i, 100_000_000))
+        .collect()
 }
 
 #[test]

@@ -39,9 +39,7 @@ fn grep_pipeline_reproduces_headline_behaviour() {
     assert!(report.fit.r2 > 0.9, "r2 {}", report.fit.r2);
     assert!(report.fit.a > 0.0);
     // ...and a fleet whose billed cost follows the flat-rate scheme.
-    assert!(
-        (report.execution.cost - report.execution.instance_hours as f64 * 0.085).abs() < 1e-9
-    );
+    assert!((report.execution.cost - report.execution.instance_hours as f64 * 0.085).abs() < 1e-9);
     assert_eq!(report.execution.runs.len(), report.planned_instances);
 }
 

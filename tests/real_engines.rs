@@ -59,7 +59,7 @@ fn tagger_assigns_every_token_a_tag() {
     assert_eq!(tagged.len(), 2);
     let words: usize = tagged.iter().map(|s| s.len()).sum();
     assert_eq!(words, 10 + 5); // tokens incl. the two periods
-    // Spot checks across both sentence boundaries.
+                               // Spot checks across both sentence boundaries.
     assert_eq!(tagged[0][0].tag, Tag::Dt);
     assert_eq!(tagged[1][0].tag, Tag::Prp);
     assert_eq!(tagged[1][2].tag, Tag::Rb); // quickly

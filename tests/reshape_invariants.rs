@@ -91,6 +91,10 @@ fn merged_units_close_to_target() {
     let out = reshape_manifest(&m, UnitSize::Bytes(10_000_000));
     // Subset-sum first fit should fill regular bins tightly on a corpus
     // of many small files.
-    assert!(out.stats.mean_fill > 0.90, "mean fill {}", out.stats.mean_fill);
+    assert!(
+        out.stats.mean_fill > 0.90,
+        "mean fill {}",
+        out.stats.mean_fill
+    );
     assert!(out.merge_ratio() > 50.0);
 }

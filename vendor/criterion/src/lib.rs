@@ -1,0 +1,280 @@
+//! Offline stand-in for `criterion`. Implements the subset this workspace's
+//! benches use — `Criterion::benchmark_group` / `bench_function` /
+//! `bench_with_input`, `Bencher::iter`, `BenchmarkId`, `Throughput`, and the
+//! `criterion_group!` / `criterion_main!` macros — with a simple adaptive
+//! timing loop (calibrate iteration count to a wall-clock budget, report the
+//! median of several samples). No statistical regression analysis and no
+//! HTML reports; results print to stdout.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Work-volume annotation so reports can show throughput.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Input elements processed per iteration.
+    Elements(u64),
+    /// Input bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Function + parameter form: `name/param`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{parameter}", name.into()),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Timing loop handle passed to each benchmark closure.
+pub struct Bencher {
+    /// Median nanoseconds per iteration, filled in by [`Bencher::iter`].
+    last_ns_per_iter: f64,
+    /// Per-sample wall-clock budget.
+    sample_budget: Duration,
+    /// Number of timed samples to take.
+    samples: usize,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Self {
+        Bencher {
+            last_ns_per_iter: f64::NAN,
+            sample_budget: Duration::from_millis(50),
+            samples: samples.max(3),
+        }
+    }
+
+    /// Measure `routine`: calibrate an iteration count that fills the sample
+    /// budget, take several timed samples, keep the median.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Calibration: double the batch size until one batch takes at least
+        // ~1/4 of the sample budget (or a single iteration already exceeds
+        // the budget — long-running benches get batch size 1).
+        let mut batch: u64 = 1;
+        let threshold = self.sample_budget / 4;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            let elapsed = t0.elapsed();
+            if elapsed >= threshold || batch >= (1 << 30) {
+                break;
+            }
+            batch *= 2;
+        }
+
+        let mut per_iter: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            per_iter.push(t0.elapsed().as_nanos() as f64 / batch as f64);
+        }
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+        self.last_ns_per_iter = per_iter[per_iter.len() / 2];
+    }
+}
+
+fn format_time(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn format_throughput(throughput: Throughput, ns: f64) -> String {
+    let per_sec = |n: u64| n as f64 / (ns / 1_000_000_000.0);
+    match throughput {
+        Throughput::Elements(n) => format!("{:.3} Melem/s", per_sec(n) / 1e6),
+        Throughput::Bytes(n) => format!("{:.3} MiB/s", per_sec(n) / (1024.0 * 1024.0)),
+    }
+}
+
+fn report(name: &str, ns: f64, throughput: Option<Throughput>) {
+    match throughput {
+        Some(t) => println!(
+            "{name:<50} {:>12}   {:>16}",
+            format_time(ns),
+            format_throughput(t, ns)
+        ),
+        None => println!("{name:<50} {:>12}", format_time(ns)),
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { samples: 11 }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== {name} ==");
+        BenchmarkGroup {
+            group_name: name,
+            samples: self.samples,
+            throughput: None,
+            _criterion: std::marker::PhantomData,
+        }
+    }
+
+    /// Benchmark a single function outside any group.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mut b = Bencher::new(self.samples);
+        f(&mut b);
+        report(name, b.last_ns_per_iter, None);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    group_name: String,
+    samples: usize,
+    throughput: Option<Throughput>,
+    _criterion: std::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate subsequent benchmarks with a work volume.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Reduce the number of timed samples (for slow benchmarks).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.clamp(3, 101);
+        self
+    }
+
+    /// Override the per-sample measurement budget. Accepted for source
+    /// compatibility; the stand-in keeps its fixed 50 ms budget.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmark a closure under `id`.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher::new(self.samples);
+        f(&mut b);
+        report(
+            &format!("{}/{}", self.group_name, id.id),
+            b.last_ns_per_iter,
+            self.throughput,
+        );
+        self
+    }
+
+    /// Benchmark a closure that borrows a shared input.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+/// Re-export matching real criterion's helper (std's since 1.66).
+pub use std::hint::black_box;
+
+/// Collect benchmark functions into a named runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher::new(3);
+        b.sample_budget = Duration::from_millis(2);
+        b.iter(|| std::hint::black_box((0..100u64).sum::<u64>()));
+        assert!(b.last_ns_per_iter.is_finite() && b.last_ns_per_iter > 0.0);
+    }
+
+    #[test]
+    fn benchmark_id_forms() {
+        assert_eq!(BenchmarkId::new("fit", "Affine").id, "fit/Affine");
+        assert_eq!(BenchmarkId::from_parameter(42).id, "42");
+        assert_eq!(BenchmarkId::from("plain").id, "plain");
+    }
+
+    #[test]
+    fn formatting_is_scaled() {
+        assert!(format_time(12.0).ends_with("ns"));
+        assert!(format_time(12_000.0).ends_with("µs"));
+        assert!(format_time(12_000_000.0).ends_with("ms"));
+        assert!(format_throughput(Throughput::Elements(1_000_000), 1_000_000_000.0)
+            .contains("Melem/s"));
+    }
+}

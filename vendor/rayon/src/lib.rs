@@ -1,0 +1,274 @@
+//! Offline stand-in for `rayon`. The build environment has no crates.io
+//! access, so this vendors the subset the workspace uses:
+//!
+//! * `par_iter()` / `into_par_iter()` on slices, `Vec`s and integer ranges;
+//! * `.map(...).collect()` with **input-order preservation** — results are
+//!   gathered by chunk index, so parallel and sequential runs are bitwise
+//!   identical for pure closures;
+//! * [`ThreadPoolBuilder`] + [`ThreadPool::install`] to bound the worker
+//!   count (`num_threads(1)` forces fully sequential execution);
+//! * [`join`] for two-way fork-join.
+//!
+//! Execution uses `std::thread::scope` per call instead of a persistent
+//! work-stealing pool — coarser, but sufficient for the corpus-sized batch
+//! jobs here, and trivially swappable for the real crate when a registry is
+//! available.
+
+use std::cell::Cell;
+
+thread_local! {
+    static THREAD_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// The worker count parallel calls on this thread will use.
+pub fn current_num_threads() -> usize {
+    THREAD_OVERRIDE.with(|o| match o.get() {
+        Some(n) => n.max(1),
+        None => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    })
+}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+/// Pool construction error (never produced by the stand-in).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    /// New builder with default (auto) thread count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bound the worker count; `0` means auto.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = Some(n);
+        self
+    }
+
+    /// Build the pool. Infallible in the stand-in.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads.unwrap_or(0),
+        })
+    }
+}
+
+/// A scoped-thread "pool": it carries only the worker-count bound, applied
+/// to every parallel call made inside [`ThreadPool::install`].
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Run `f` with this pool's worker-count bound active on the current
+    /// thread.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let prev = THREAD_OVERRIDE.with(|o| {
+            o.replace(if self.num_threads == 0 {
+                None
+            } else {
+                Some(self.num_threads)
+            })
+        });
+        let result = f();
+        THREAD_OVERRIDE.with(|o| o.set(prev));
+        result
+    }
+}
+
+/// Two-way fork-join: runs `a` on a scoped thread while `b` runs inline.
+pub fn join<RA: Send, RB: Send>(
+    a: impl FnOnce() -> RA + Send,
+    b: impl FnOnce() -> RB + Send,
+) -> (RA, RB) {
+    if current_num_threads() <= 1 {
+        return (a(), b());
+    }
+    std::thread::scope(|s| {
+        let ha = s.spawn(a);
+        let rb = b();
+        (ha.join().expect("rayon join worker panicked"), rb)
+    })
+}
+
+/// Ordered parallel map: the workhorse behind `.map(...).collect()`.
+fn par_map_vec<T: Send, O: Send, F: Fn(T) -> O + Sync>(items: Vec<T>, f: F) -> Vec<O> {
+    let threads = current_num_threads().min(items.len().max(1));
+    if threads <= 1 || items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    // Contiguous chunks, gathered in chunk order: output order == input
+    // order regardless of scheduling.
+    let len = items.len();
+    let chunk_size = len.div_ceil(threads);
+    let mut source = items.into_iter();
+    let chunks: Vec<Vec<T>> = (0..threads)
+        .map(|_| source.by_ref().take(chunk_size).collect())
+        .collect();
+    let f = &f;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| s.spawn(move || chunk.into_iter().map(f).collect::<Vec<O>>()))
+            .collect();
+        let mut out = Vec::with_capacity(len);
+        for h in handles {
+            out.extend(h.join().expect("rayon map worker panicked"));
+        }
+        out
+    })
+}
+
+/// An eagerly materialized parallel iterator.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Map each element through `f` (executed at `collect` time).
+    pub fn map<O: Send, F: Fn(T) -> O + Sync>(self, f: F) -> ParMap<T, F> {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Run `f` on every element.
+    pub fn for_each<F: Fn(T) + Sync>(self, f: F) {
+        let _: Vec<()> = self.map(|t| f(t)).collect();
+    }
+}
+
+/// A pending parallel map.
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T: Send, F> ParMap<T, F> {
+    /// Execute the map across worker threads and collect in input order.
+    pub fn collect<C, O>(self) -> C
+    where
+        F: Fn(T) -> O + Sync,
+        O: Send,
+        C: FromIterator<O>,
+    {
+        par_map_vec(self.items, self.f).into_iter().collect()
+    }
+}
+
+/// Conversion into a parallel iterator by value.
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item: Send;
+    /// Materialize the parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+macro_rules! impl_range_par {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Item = $t;
+            fn into_par_iter(self) -> ParIter<$t> {
+                ParIter { items: self.collect() }
+            }
+        }
+    )*};
+}
+impl_range_par!(u32, u64, usize, i32, i64);
+
+/// Conversion into a parallel iterator over references.
+pub trait IntoParallelRefIterator<'a> {
+    /// Borrowed element type.
+    type Item: Send;
+    /// Materialize the parallel iterator over `&self`'s elements.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// Marker re-exported by the prelude for source compatibility with code
+/// written against real rayon's trait-based API.
+pub trait ParallelIterator {}
+
+/// The usual glob import.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn ordered_collect_matches_sequential() {
+        let seq: Vec<u64> = (0u64..1_000).map(|x| x * x).collect();
+        let par: Vec<u64> = (0u64..1_000).into_par_iter().map(|x| x * x).collect();
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn par_iter_over_slice_preserves_order() {
+        let data: Vec<String> = (0..100).map(|i| format!("s{i}")).collect();
+        let lens: Vec<usize> = data.par_iter().map(|s| s.len()).collect();
+        let expect: Vec<usize> = data.iter().map(|s| s.len()).collect();
+        assert_eq!(lens, expect);
+    }
+
+    #[test]
+    fn install_bounds_worker_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        pool.install(|| {
+            assert_eq!(current_num_threads(), 1);
+            let v: Vec<u32> = (0u32..10).into_par_iter().map(|x| x + 1).collect();
+            assert_eq!(v, (1u32..11).collect::<Vec<_>>());
+        });
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = join(|| 2 + 2, || "ok");
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+    }
+}

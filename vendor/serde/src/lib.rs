@@ -1,0 +1,225 @@
+//! Offline stand-in for `serde`, small enough to vendor but faithful enough
+//! for this workspace: types implement [`Serialize`] by converting to a
+//! JSON-shaped [`Value`], which `serde_json` (also vendored) renders. The
+//! derive macros come from the sibling `serde_derive` stub. `Deserialize` is
+//! a marker trait only — nothing in this workspace parses JSON back.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// JSON-shaped data model every serializable type lowers into.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON null.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer.
+    U64(u64),
+    /// Floating point number.
+    F64(f64),
+    /// String.
+    String(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object, with field order preserved.
+    Object(Vec<(String, Value)>),
+}
+
+/// Conversion into the [`Value`] data model.
+pub trait Serialize {
+    /// Lower `self` into a [`Value`] tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Marker for deserializable types. Round-tripping is not implemented in the
+/// vendored stand-in; the derive exists so `#[derive(Deserialize)]` compiles.
+pub trait Deserialize {}
+
+/// Serialization trait namespace, mirroring serde's module layout.
+pub mod ser {
+    pub use crate::Serialize;
+}
+
+/// Deserialization trait namespace, mirroring serde's module layout.
+pub mod de {
+    pub use crate::Deserialize;
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::U64(*self as u64) }
+        }
+        impl Deserialize for $t {}
+    )*};
+}
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::I64(*self as i64) }
+        }
+        impl Deserialize for $t {}
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self as f64)
+    }
+}
+impl Deserialize for f32 {}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+impl Deserialize for f64 {}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+impl Deserialize for String {}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+impl Deserialize for char {}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(v) => v.to_value(),
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {}
+
+// Maps serialize as JSON objects. Keys are rendered with `Display` and
+// emitted in sorted order so `HashMap` output is deterministic.
+impl<K: std::fmt::Display + Ord, V: Serialize, S> Serialize for std::collections::HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        let mut entries: Vec<(&K, &V)> = self.iter().collect();
+        entries.sort_by(|a, b| a.0.cmp(b.0));
+        Value::Object(
+            entries
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+impl<K, V: Deserialize, S> Deserialize for std::collections::HashMap<K, V, S> {}
+
+impl<K: std::fmt::Display, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.to_string(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+impl<K, V: Deserialize> Deserialize for std::collections::BTreeMap<K, V> {}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$n.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {}
+    )*};
+}
+impl_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_lower_to_expected_variants() {
+        assert_eq!(3u64.to_value(), Value::U64(3));
+        assert_eq!((-2i32).to_value(), Value::I64(-2));
+        assert_eq!(true.to_value(), Value::Bool(true));
+        assert_eq!("x".to_value(), Value::String("x".into()));
+        assert_eq!(Option::<u64>::None.to_value(), Value::Null);
+    }
+
+    #[test]
+    fn containers_preserve_order() {
+        let v = vec![1u64, 2, 3].to_value();
+        assert_eq!(
+            v,
+            Value::Array(vec![Value::U64(1), Value::U64(2), Value::U64(3)])
+        );
+        let t = (1u64, 2.5f64).to_value();
+        assert_eq!(t, Value::Array(vec![Value::U64(1), Value::F64(2.5)]));
+    }
+}

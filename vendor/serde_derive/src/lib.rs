@@ -1,0 +1,284 @@
+//! Hand-rolled `#[derive(Serialize, Deserialize)]` for the vendored `serde`
+//! stand-in. The build environment has no access to crates.io, so this crate
+//! re-implements just enough of serde_derive for this workspace: plain
+//! structs (named, tuple, unit) and enums (unit, tuple and struct variants),
+//! no generics, no `#[serde(...)]` attributes.
+//!
+//! `Serialize` derives a `to_value` that mirrors serde_json's data model
+//! (externally tagged enums, newtype structs collapse to their inner value);
+//! `Deserialize` derives the marker impl only.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+/// Skip outer attributes (`#[...]`, including doc comments) and visibility.
+fn skip_attrs_and_vis(toks: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // `#` then `[...]`
+                i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = toks.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Count top-level comma-separated, non-empty segments, tracking `<...>`
+/// depth so generic arguments do not split a field.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut fields = 0usize;
+    let mut saw_tokens = false;
+    let mut angle = 0i32;
+    for t in stream {
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                angle += 1;
+                saw_tokens = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle -= 1;
+                saw_tokens = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                if saw_tokens {
+                    fields += 1;
+                }
+                saw_tokens = false;
+            }
+            _ => saw_tokens = true,
+        }
+    }
+    if saw_tokens {
+        fields += 1;
+    }
+    fields
+}
+
+/// Parse `name: Type, ...` returning the field names.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut names = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        i = skip_attrs_and_vis(&toks, i);
+        let Some(TokenTree::Ident(name)) = toks.get(i) else {
+            break;
+        };
+        names.push(name.to_string());
+        i += 1;
+        // expect ':'
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive stub: expected ':' after field, got {other:?}"),
+        }
+        // consume the type up to a top-level comma
+        let mut angle = 0i32;
+        while let Some(t) = toks.get(i) {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    names
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        i = skip_attrs_and_vis(&toks, i);
+        let Some(TokenTree::Ident(name)) = toks.get(i) else {
+            break;
+        };
+        let name = name.to_string();
+        i += 1;
+        let kind = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Named(parse_named_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        variants.push(Variant { name, kind });
+        // skip to past the separating comma
+        while let Some(t) = toks.get(i) {
+            i += 1;
+            if matches!(t, TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+        }
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> (String, Shape) {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&toks, 0);
+    let kw = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive stub: expected struct/enum, got {other:?}"),
+    };
+    i += 1;
+    let name = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive stub: expected type name, got {other:?}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = toks.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive stub: generics are not supported (type {name})");
+        }
+    }
+    let shape = match kw.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            _ => Shape::UnitStruct,
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde_derive stub: malformed enum {name}: {other:?}"),
+        },
+        other => panic!("serde_derive stub: unsupported item kind `{other}`"),
+    };
+    (name, shape)
+}
+
+fn string_lit(s: &str) -> String {
+    format!("::std::string::String::from(\"{s}\")")
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_item(input);
+    let body = match shape {
+        Shape::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "({}, ::serde::Serialize::to_value(&self.{f}))",
+                        string_lit(f)
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Object(::std::vec![{}])", entries.join(", "))
+        }
+        Shape::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let entries: Vec<String> = (0..n)
+                .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                .collect();
+            format!("::serde::Value::Array(::std::vec![{}])", entries.join(", "))
+        }
+        Shape::UnitStruct => "::serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| match &v.kind {
+                    VariantKind::Unit => format!(
+                        "Self::{} => ::serde::Value::String({}),",
+                        v.name,
+                        string_lit(&v.name)
+                    ),
+                    VariantKind::Tuple(1) => format!(
+                        "Self::{}(__f0) => ::serde::Value::Object(::std::vec![({}, \
+                         ::serde::Serialize::to_value(__f0))]),",
+                        v.name,
+                        string_lit(&v.name)
+                    ),
+                    VariantKind::Tuple(n) => {
+                        let pats: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                        let vals: Vec<String> = (0..*n)
+                            .map(|k| format!("::serde::Serialize::to_value(__f{k})"))
+                            .collect();
+                        format!(
+                            "Self::{}({}) => ::serde::Value::Object(::std::vec![({}, \
+                             ::serde::Value::Array(::std::vec![{}]))]),",
+                            v.name,
+                            pats.join(", "),
+                            string_lit(&v.name),
+                            vals.join(", ")
+                        )
+                    }
+                    VariantKind::Named(fields) => {
+                        let inner: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!("({}, ::serde::Serialize::to_value({f}))", string_lit(f))
+                            })
+                            .collect();
+                        format!(
+                            "Self::{} {{ {} }} => ::serde::Value::Object(::std::vec![({}, \
+                             ::serde::Value::Object(::std::vec![{}]))]),",
+                            v.name,
+                            fields.join(", "),
+                            string_lit(&v.name),
+                            inner.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join("\n"))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde_derive stub: generated impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, _) = parse_item(input);
+    format!("impl ::serde::Deserialize for {name} {{}}")
+        .parse()
+        .expect("serde_derive stub: generated impl parses")
+}

@@ -58,7 +58,7 @@ fn bench_fleet(c: &mut Criterion) {
     let xs: Vec<f64> = (1..=10).map(|i| i as f64 * 5.0e6).collect();
     let ys: Vec<f64> = xs.iter().map(|&x| 0.5 + 8.65e-5 * x).collect();
     let fit = perfmodel::fit(perfmodel::ModelKind::Affine, &xs, &ys);
-    let plan = make_plan(Strategy::UniformBins, &manifest.files, &fit, 3600.0);
+    let plan = make_plan(Strategy::UniformBins, &manifest.files, &fit, 3600.0).expect("plan");
     let model = PosCostModel::default();
     let mut group = c.benchmark_group("fleet");
     group.sample_size(10);

@@ -37,7 +37,8 @@ fn main() {
             &manifest.files,
             &eq4,
             deadline,
-        );
+        )
+        .expect("plan");
         let dist = evaluate_plan(
             &plan,
             &PosCostModel::default(),

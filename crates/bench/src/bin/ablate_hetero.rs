@@ -20,7 +20,7 @@ fn main() {
     let manifest = corpus::text_400k(scale, 2008);
     let (eq3, _) = pos_calibration(&mut cloud, inst, &manifest);
     cloud.terminate(inst).unwrap();
-    let plan = make_plan(Strategy::UniformBins, &manifest.files, &eq3, deadline);
+    let plan = make_plan(Strategy::UniformBins, &manifest.files, &eq3, deadline).expect("plan");
 
     let fleets: [(&str, CloudConfig); 4] = [
         ("ideal (no noise, homogeneous)", CloudConfig::ideal(1210)),

@@ -36,17 +36,17 @@ fn main() {
         (
             "fig8a_ff_model3",
             "Fig 8(a) first-fit bins, model (3)",
-            make_plan(Strategy::CapacityDriven, &manifest.files, &eq3, deadline),
+            make_plan(Strategy::CapacityDriven, &manifest.files, &eq3, deadline).expect("plan"),
         ),
         (
             "fig8b_uniform_model3",
             "Fig 8(b) uniform bins, model (3)",
-            make_plan(Strategy::UniformBins, &manifest.files, &eq3, deadline),
+            make_plan(Strategy::UniformBins, &manifest.files, &eq3, deadline).expect("plan"),
         ),
         (
             "fig8c_uniform_model4",
             "Fig 8(c) uniform bins, refit model (4)",
-            make_plan(Strategy::UniformBins, &manifest.files, &eq4, deadline),
+            make_plan(Strategy::UniformBins, &manifest.files, &eq4, deadline).expect("plan"),
         ),
         (
             "fig8d_adjusted_model4",
@@ -56,7 +56,8 @@ fn main() {
                 &manifest.files,
                 &eq4,
                 deadline,
-            ),
+            )
+            .expect("plan"),
         ),
     ];
 

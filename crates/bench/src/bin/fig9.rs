@@ -26,12 +26,12 @@ fn main() {
         (
             "fig9a_uniform_model3",
             "Fig 9(a) uniform bins, model (3)",
-            make_plan(Strategy::UniformBins, &manifest.files, &eq3, deadline),
+            make_plan(Strategy::UniformBins, &manifest.files, &eq3, deadline).expect("plan"),
         ),
         (
             "fig9b_uniform_model4",
             "Fig 9(b) uniform bins, refit model (4)",
-            make_plan(Strategy::UniformBins, &manifest.files, &eq4, deadline),
+            make_plan(Strategy::UniformBins, &manifest.files, &eq4, deadline).expect("plan"),
         ),
         (
             "fig9c_adjusted_model4",
@@ -41,7 +41,8 @@ fn main() {
                 &manifest.files,
                 &eq4,
                 deadline,
-            ),
+            )
+            .expect("plan"),
         ),
     ];
 

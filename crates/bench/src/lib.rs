@@ -6,6 +6,8 @@
 //! `SMOKE=1`) to shrink scales for CI-speed runs; the shapes survive, the
 //! resolution drops.
 
+#![forbid(unsafe_code)]
+
 use corpus::FileSpec;
 use ec2sim::{
     acquire_good_instance, Cloud, CloudConfig, DataLocation, InstanceId, ScreeningPolicy,

@@ -26,6 +26,7 @@
 use std::cmp::Reverse;
 use std::collections::{BTreeSet, BinaryHeap};
 
+use crate::check;
 use crate::item::{Bin, Item};
 use crate::pack::Packing;
 use crate::segtree::MaxSegTree;
@@ -81,7 +82,9 @@ pub fn subset_sum_first_fit(items: &[Item], capacity: u64) -> Packing {
         bins.push(b);
     }
 
-    Packing { bins, capacity }
+    let packing = Packing { bins, capacity };
+    check::debug_check(items, &packing);
+    packing
 }
 
 /// First fit over items in their input order, backed by a segment tree.
@@ -118,7 +121,9 @@ pub fn first_fit(items: &[Item], capacity: u64) -> Packing {
             }
         }
     }
-    Packing { bins, capacity }
+    let packing = Packing { bins, capacity };
+    check::debug_check(items, &packing);
+    packing
 }
 
 /// Best fit backed by a sorted set of `(free, bin index)` pairs.
@@ -155,7 +160,9 @@ pub fn best_fit(items: &[Item], capacity: u64) -> Packing {
             }
         }
     }
-    Packing { bins, capacity }
+    let packing = Packing { bins, capacity };
+    check::debug_check(items, &packing);
+    packing
 }
 
 /// Uniform split into exactly `k` bins via LPT greedy, backed by a min-heap.
@@ -175,6 +182,7 @@ pub fn uniform_k_bins(items: &[Item], k: usize) -> Packing {
     let mut assigned: Vec<Vec<(usize, Item)>> = vec![Vec::new(); k];
     let mut heap: BinaryHeap<Reverse<(u64, usize)>> = (0..k).map(|i| Reverse((0u64, i))).collect();
     for (pos, item) in order {
+        // lint:allow(RL001, the heap is seeded with k >= 1 bins and every pop is paired with a push)
         let Reverse((load, idx)) = heap.pop().expect("heap holds k bins");
         assigned[idx].push((pos, item));
         heap.push(Reverse((load + item.size, idx)));
@@ -191,10 +199,12 @@ pub fn uniform_k_bins(items: &[Item], k: usize) -> Packing {
             b
         })
         .collect();
-    Packing {
+    let packing = Packing {
         bins,
         capacity: target,
-    }
+    };
+    check::debug_check_k(items, &packing, k);
+    packing
 }
 
 #[cfg(test)]

@@ -43,6 +43,7 @@ pub fn naive_uniform_k_bins(items: &[Item], k: usize) -> Packing {
     let mut assigned: Vec<Vec<(usize, Item)>> = vec![Vec::new(); k];
     let mut loads = vec![0u64; k];
     for (pos, item) in order {
+        // lint:allow(RL001, the range 0..k is non-empty because k >= 1 is asserted on entry)
         let idx = (0..k).min_by_key(|&i| (loads[i], i)).unwrap();
         loads[idx] += item.size;
         assigned[idx].push((pos, item));

@@ -30,6 +30,9 @@
 //! items *within* each bin, so concatenated unit files have reproducible
 //! content.
 
+#![forbid(unsafe_code)]
+
+pub mod check;
 mod derive;
 mod dp;
 mod fast;
@@ -41,6 +44,10 @@ mod segtree;
 mod stats;
 mod subset_sum;
 
+pub use check::{
+    check_k_packing, check_packing, check_packing_with, replay_deterministic, CheckOptions,
+    CheckViolation,
+};
 pub use derive::{derive_merged, derive_probe_chain, derive_probe_chain_par};
 pub use dp::subset_sum_dp;
 pub use fast::{best_fit, first_fit, subset_sum_first_fit, uniform_k_bins};

@@ -136,6 +136,7 @@ pub fn next_fit(items: &[Item], capacity: u64) -> Packing {
             .map(|b| !b.is_oversize() && b.fits(&item))
             .unwrap_or(false);
         if fits_last {
+            // lint:allow(RL001, fits_last is only true when a last bin exists)
             bins.last_mut().unwrap().push(item);
         } else {
             let mut b = Bin::new(capacity);

@@ -39,6 +39,7 @@ impl Parallelism {
         rayon::ThreadPoolBuilder::new()
             .num_threads(workers)
             .build()
+            // lint:allow(RL001, pool construction is infallible for any worker count here)
             .expect("thread pool construction cannot fail")
             .install(f)
     }

@@ -3,9 +3,10 @@
 //! order/derivation laws.
 
 use binpack::{
-    best_fit, derive_merged, derive_probe_chain, derive_probe_chain_par, first_fit, naive_best_fit,
-    naive_first_fit, naive_subset_sum_first_fit, naive_uniform_k_bins, rebalance_uniform,
-    subset_sum_first_fit, uniform_k_bins, Algorithm, Item, Parallelism,
+    best_fit, check_k_packing, check_packing, derive_merged, derive_probe_chain,
+    derive_probe_chain_par, first_fit, naive_best_fit, naive_first_fit, naive_subset_sum_first_fit,
+    naive_uniform_k_bins, rebalance_uniform, replay_deterministic, subset_sum_first_fit,
+    uniform_k_bins, Algorithm, Item, Parallelism,
 };
 use proptest::prelude::*;
 use std::collections::BTreeMap;
@@ -143,25 +144,47 @@ proptest! {
 
     #[test]
     fn fast_subset_sum_equals_naive(items in arb_items(), cap in 1u64..2_000) {
-        prop_assert_eq!(
-            subset_sum_first_fit(&items, cap),
-            naive_subset_sum_first_fit(&items, cap)
-        );
+        let fast = subset_sum_first_fit(&items, cap);
+        prop_assert_eq!(&fast, &naive_subset_sum_first_fit(&items, cap));
+        if let Err(v) = check_packing(&items, &fast) {
+            prop_assert!(false, "sanitizer: {v}");
+        }
     }
 
     #[test]
     fn fast_first_fit_equals_naive(items in arb_items(), cap in 1u64..2_000) {
-        prop_assert_eq!(first_fit(&items, cap), naive_first_fit(&items, cap));
+        let fast = first_fit(&items, cap);
+        prop_assert_eq!(&fast, &naive_first_fit(&items, cap));
+        if let Err(v) = check_packing(&items, &fast) {
+            prop_assert!(false, "sanitizer: {v}");
+        }
     }
 
     #[test]
     fn fast_best_fit_equals_naive(items in arb_items(), cap in 1u64..2_000) {
-        prop_assert_eq!(best_fit(&items, cap), naive_best_fit(&items, cap));
+        let fast = best_fit(&items, cap);
+        prop_assert_eq!(&fast, &naive_best_fit(&items, cap));
+        if let Err(v) = check_packing(&items, &fast) {
+            prop_assert!(false, "sanitizer: {v}");
+        }
     }
 
     #[test]
     fn fast_uniform_k_bins_equals_naive(items in arb_items(), k in 1usize..40) {
-        prop_assert_eq!(uniform_k_bins(&items, k), naive_uniform_k_bins(&items, k));
+        let fast = uniform_k_bins(&items, k);
+        prop_assert_eq!(&fast, &naive_uniform_k_bins(&items, k));
+        if let Err(v) = check_k_packing(&items, &fast, k) {
+            prop_assert!(false, "sanitizer: {v}");
+        }
+    }
+
+    #[test]
+    fn kernels_replay_deterministically(items in arb_items(), cap in 1u64..2_000) {
+        for alg in Algorithm::ALL {
+            if let Err(v) = replay_deterministic(|| alg.pack(&items, cap)) {
+                prop_assert!(false, "{:?}: {v}", alg);
+            }
+        }
     }
 
     #[test]

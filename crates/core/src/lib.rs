@@ -35,6 +35,8 @@
 //! assert!(!report.execution.runs.is_empty());
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod pipeline;
 mod reshape_step;
 mod workload;

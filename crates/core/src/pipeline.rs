@@ -77,6 +77,12 @@ pub struct PipelineConfig {
     /// How the probe-construction and reshape stages execute their
     /// data-parallel sweeps. Results are identical for every setting.
     pub parallelism: Parallelism,
+    /// Run the packing-invariant sanitizer over the reshape outcome and
+    /// the provisioning plan (byte conservation, exactly-once assignment,
+    /// per-instance volume accounting). Defaults to on in debug builds,
+    /// off in release; violations surface as
+    /// [`PipelineError::InvariantViolation`].
+    pub validate: bool,
 }
 
 impl Default for PipelineConfig {
@@ -93,6 +99,7 @@ impl Default for PipelineConfig {
             screening: ScreeningPolicy::default(),
             screen_fleet: true,
             parallelism: Parallelism::default(),
+            validate: cfg!(debug_assertions),
         }
     }
 }
@@ -112,6 +119,10 @@ pub enum PipelineError {
         /// The offending deadline, seconds.
         deadline_secs: f64,
     },
+    /// The packing-invariant sanitizer rejected an intermediate result
+    /// (bytes not conserved, a file lost or duplicated, volume accounting
+    /// off). Always a bug in the pipeline, never a user error.
+    InvariantViolation(String),
 }
 
 impl From<CloudError> for PipelineError {
@@ -133,6 +144,9 @@ impl std::fmt::Display for PipelineError {
                     f,
                     "deadline of {deadline_secs}s is unreachable under the model"
                 )
+            }
+            PipelineError::InvariantViolation(what) => {
+                write!(f, "packing invariant violated: {what}")
             }
         }
     }
@@ -221,6 +235,9 @@ impl Pipeline {
 
         // 3. Reshape the corpus to the chosen unit.
         let reshape = reshape_manifest_par(&workload.manifest, unit, self.config.parallelism);
+        if self.config.validate {
+            validate_reshape(&workload.manifest, &reshape)?;
+        }
 
         // 4. Fit runtime = f(volume) from the chosen unit's measurements.
         let (xs, ys) = observations_at_unit(&probe_sets, unit);
@@ -266,22 +283,21 @@ impl Pipeline {
         };
         cloud.terminate(probe_inst)?;
 
-        // 6. Plan. Validate invertibility first so we error, not panic.
-        let planning_ok = final_fit
-            .invert(self.config.deadline_secs)
-            .map(|x| x >= 1.0)
-            .unwrap_or(false);
-        if !planning_ok {
-            return Err(PipelineError::InfeasibleDeadline {
-                deadline_secs: self.config.deadline_secs,
-            });
-        }
+        // 6. Plan. Provisioning reports infeasible deadlines as typed
+        // errors (ProvisionError), which the pipeline surfaces as
+        // InfeasibleDeadline.
         let plan = make_plan(
             self.config.strategy,
             &reshape.files,
             &final_fit,
             self.config.deadline_secs,
-        );
+        )
+        .map_err(|_| PipelineError::InfeasibleDeadline {
+            deadline_secs: self.config.deadline_secs,
+        })?;
+        if self.config.validate {
+            validate_plan(&reshape.files, &plan)?;
+        }
 
         // 7. Execute on a fresh fleet.
         let exec_cfg = ExecutionConfig {
@@ -361,6 +377,70 @@ impl Pipeline {
             StagingTier::Local => DataLocation::Local,
         })
     }
+}
+
+/// Sanitizer: the reshape must conserve bytes and never increase the file
+/// count (merging only ever concatenates).
+fn validate_reshape(manifest: &Manifest, reshape: &ReshapeOutcome) -> Result<(), PipelineError> {
+    let in_bytes = manifest.total_volume();
+    let out_bytes: u64 = reshape.files.iter().map(|f| f.size).sum();
+    if in_bytes != out_bytes {
+        return Err(PipelineError::InvariantViolation(format!(
+            "reshape changed the corpus volume: {in_bytes} bytes in, {out_bytes} bytes out"
+        )));
+    }
+    if reshape.files.len() > manifest.len() {
+        return Err(PipelineError::InvariantViolation(format!(
+            "reshape grew the file count: {} in, {} out",
+            manifest.len(),
+            reshape.files.len()
+        )));
+    }
+    Ok(())
+}
+
+/// Sanitizer: the plan must assign every reshaped file to exactly one
+/// instance, keep per-instance volume accounting honest, and conserve the
+/// total volume.
+fn validate_plan(files: &[FileSpec], plan: &provision::Plan) -> Result<(), PipelineError> {
+    let mut pending: std::collections::BTreeMap<(u64, u64), usize> =
+        std::collections::BTreeMap::new();
+    for f in files {
+        *pending.entry((f.id, f.size)).or_insert(0) += 1;
+    }
+    for (i, inst) in plan.instances.iter().enumerate() {
+        let actual: u64 = inst.files.iter().map(|f| f.size).sum();
+        if actual != inst.volume {
+            return Err(PipelineError::InvariantViolation(format!(
+                "instance {i} records {} bytes but its files sum to {actual}",
+                inst.volume
+            )));
+        }
+        for f in &inst.files {
+            match pending.get_mut(&(f.id, f.size)) {
+                Some(n) if *n > 0 => *n -= 1,
+                _ => {
+                    return Err(PipelineError::InvariantViolation(format!(
+                        "file {} ({} bytes) assigned twice or unknown to the reshape",
+                        f.id, f.size
+                    )))
+                }
+            }
+        }
+    }
+    if let Some((&(id, size), _)) = pending.iter().find(|(_, &n)| n > 0) {
+        return Err(PipelineError::InvariantViolation(format!(
+            "file {id} ({size} bytes) never assigned to an instance"
+        )));
+    }
+    let in_bytes: u64 = files.iter().map(|f| f.size).sum();
+    if plan.total_volume() != in_bytes {
+        return Err(PipelineError::InvariantViolation(format!(
+            "plan volume {} differs from reshaped corpus volume {in_bytes}",
+            plan.total_volume()
+        )));
+    }
+    Ok(())
 }
 
 /// Collect (volume, runtime) pairs at the chosen unit across all probe

@@ -110,10 +110,7 @@ impl Zipf {
     /// Draw a rank in `0..n` (0 = most frequent).
     pub fn sample_rank(&self, rng: &mut impl Rng) -> usize {
         let u: f64 = rng.random();
-        match self
-            .cdf
-            .binary_search_by(|p| p.partial_cmp(&u).expect("CDF is finite"))
-        {
+        match self.cdf.binary_search_by(|p| p.total_cmp(&u)) {
             Ok(i) => i,
             Err(i) => i.min(self.cdf.len() - 1),
         }

@@ -17,6 +17,8 @@
 //! complexity). The 900 GB set is never materialized wholesale; bytes are
 //! produced per-file only when an example or test actually reads them.
 
+#![forbid(unsafe_code)]
+
 mod books;
 mod dist;
 mod hist;

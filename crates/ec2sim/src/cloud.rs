@@ -132,7 +132,7 @@ pub struct Cloud {
     pub s3: ObjectStore,
     ledger: BillingLedger,
     rng: StdRng,
-    busy: std::collections::HashMap<InstanceId, f64>,
+    busy: std::collections::BTreeMap<InstanceId, f64>,
 }
 
 impl Cloud {
@@ -146,7 +146,7 @@ impl Cloud {
             volumes: Vec::new(),
             s3: ObjectStore::new(),
             ledger: BillingLedger::new(),
-            busy: std::collections::HashMap::new(),
+            busy: std::collections::BTreeMap::new(),
         }
     }
 

@@ -30,6 +30,8 @@
 //! placement spikes and the same noise, so every figure regenerates
 //! identically.
 
+#![forbid(unsafe_code)]
+
 mod billing;
 mod bonnie;
 mod cloud;

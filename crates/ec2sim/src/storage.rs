@@ -17,7 +17,7 @@ use crate::types::AvailabilityZone;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Opaque EBS volume identifier.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -109,7 +109,7 @@ impl EbsVolume {
 /// shared across zones, with higher per-object latency than EBS.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct ObjectStore {
-    objects: HashMap<String, u64>,
+    objects: BTreeMap<String, u64>,
     /// Total bytes stored.
     pub total_bytes: u64,
 }

@@ -1,0 +1,144 @@
+//! File classification: which crate a source file belongs to and what kind
+//! of code it holds. Rule scopes are expressed against this context.
+
+use std::path::Path;
+
+/// What kind of code a file holds, derived from its workspace-relative path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Category {
+    /// Library code: `src/` of a crate, excluding binary roots. The only
+    /// category rules apply to.
+    Library,
+    /// Binary roots: `src/main.rs` and `src/bin/`.
+    Binary,
+    /// Integration tests, benches and examples.
+    Tests,
+    /// Anything in the bench crate, which exists to measure and may freely
+    /// unwrap, panic and read clocks.
+    Bench,
+}
+
+/// Resolved context for one source file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileContext {
+    /// Workspace-relative path with `/` separators.
+    pub rel: String,
+    /// The crate directory name (`binpack`, `core`, ...) or the package
+    /// name for the workspace-root crate.
+    pub crate_dir: String,
+    /// What kind of code the file holds.
+    pub category: Category,
+}
+
+/// Classify a workspace-relative `.rs` path. Returns `None` for files the
+/// linter has no opinion about (scripts, generated output, fixtures).
+pub fn classify(rel: &str) -> Option<FileContext> {
+    let rel = rel.replace('\\', "/");
+    let (crate_dir, inner) = match rel.strip_prefix("crates/") {
+        Some(rest) => {
+            let (name, inner) = rest.split_once('/')?;
+            (name.to_string(), inner.to_string())
+        }
+        None => ("corpus-reshape".to_string(), rel.clone()),
+    };
+    if inner.contains("fixtures/") {
+        return None;
+    }
+    let category = if crate_dir == "bench" {
+        Category::Bench
+    } else if inner == "src/main.rs" || inner.starts_with("src/bin/") {
+        Category::Binary
+    } else if inner.starts_with("src/") {
+        Category::Library
+    } else if inner.starts_with("tests/")
+        || inner.starts_with("benches/")
+        || inner.starts_with("examples/")
+    {
+        Category::Tests
+    } else {
+        return None;
+    };
+    Some(FileContext {
+        rel,
+        crate_dir,
+        category,
+    })
+}
+
+/// Directories never descended into during the workspace walk.
+const SKIP_DIRS: &[&str] = &["target", "vendor", "results", "fixtures", "node_modules"];
+
+/// Collect every `.rs` file under `root` in deterministic (sorted) order,
+/// skipping build output, vendored stubs and lint fixtures.
+pub fn collect_rs_files(root: &Path) -> std::io::Result<Vec<std::path::PathBuf>> {
+    let mut out = Vec::new();
+    walk(root, &mut out)?;
+    out.sort();
+    Ok(out)
+}
+
+fn walk(dir: &Path, out: &mut Vec<std::path::PathBuf>) -> std::io::Result<()> {
+    let mut entries: Vec<_> = std::fs::read_dir(dir)?
+        .collect::<Result<Vec<_>, _>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        let name = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or_default();
+        if path.is_dir() {
+            if name.starts_with('.') || SKIP_DIRS.contains(&name) {
+                continue;
+            }
+            walk(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classifies_crate_layout() {
+        let lib = classify("crates/binpack/src/fast.rs").expect("lib");
+        assert_eq!(lib.category, Category::Library);
+        assert_eq!(lib.crate_dir, "binpack");
+
+        let bin = classify("crates/bench/src/bin/fig8.rs").expect("bench bin");
+        assert_eq!(bin.category, Category::Bench);
+
+        let main = classify("crates/lint/src/main.rs").expect("main");
+        assert_eq!(main.category, Category::Binary);
+
+        let tests = classify("crates/binpack/tests/properties.rs").expect("tests");
+        assert_eq!(tests.category, Category::Tests);
+    }
+
+    #[test]
+    fn classifies_root_package() {
+        let lib = classify("src/lib.rs").expect("root lib");
+        assert_eq!(lib.category, Category::Library);
+        assert_eq!(lib.crate_dir, "corpus-reshape");
+        assert_eq!(
+            classify("tests/pipeline_end_to_end.rs").map(|c| c.category),
+            Some(Category::Tests)
+        );
+        assert_eq!(
+            classify("examples/pos_deadline.rs").map(|c| c.category),
+            Some(Category::Tests)
+        );
+    }
+
+    #[test]
+    fn fixtures_and_strays_unclassified() {
+        assert!(classify("crates/lint/tests/fixtures/ws/src/lib.rs").is_none());
+        assert!(classify("scripts/gen.rs").is_none());
+    }
+}

@@ -1,0 +1,292 @@
+//! `reshape-lint`: project-specific static analysis for the corpus-reshape
+//! workspace.
+//!
+//! The workspace has invariants ordinary compiler lints cannot see: packing
+//! and planning must be deterministic and bit-reproducible, byte accounting
+//! must never truncate, and library crates must surface failures as typed
+//! errors rather than panics. This crate enforces them with a small,
+//! dependency-free lexical analysis driver:
+//!
+//! * [`scanner`] — context-aware line scanning (strings, comments,
+//!   `#[cfg(test)]` regions),
+//! * [`rules`] — the rule registry with stable IDs (`RL001`..`RL006`),
+//! * [`context`] — file classification (library vs test vs bench code),
+//! * this module — the driver: suppression handling, reports, JSON output.
+//!
+//! Run it with `cargo run -p lint`; it exits non-zero when any unsuppressed
+//! error-severity finding remains and writes `results/LINT.json`.
+//!
+//! Findings are suppressed inline with
+//! `// lint:allow(RL001, reason why this one is fine)` on the offending
+//! line or the line directly above it. The reason is mandatory — a
+//! suppression without one does not suppress.
+
+#![forbid(unsafe_code)]
+
+pub mod context;
+pub mod rules;
+pub mod scanner;
+
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::path::Path;
+
+pub use context::{classify, collect_rs_files, Category, FileContext};
+pub use rules::{Rule, Severity, RULES};
+
+/// One lint finding, suppressed or not.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct Finding {
+    /// Rule ID, e.g. `RL001`.
+    pub rule: String,
+    /// `error` or `warning`.
+    pub severity: String,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// What is wrong.
+    pub message: String,
+    /// The offending source line, trimmed.
+    pub snippet: String,
+    /// True when an inline `lint:allow` covers this finding.
+    pub suppressed: bool,
+    /// The reason given in the suppression, when suppressed.
+    pub suppress_reason: Option<String>,
+}
+
+/// The outcome of a lint run.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// All findings, including suppressed ones, sorted by
+    /// (file, line, rule).
+    pub findings: Vec<Finding>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Findings not covered by a suppression.
+    pub fn active(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| !f.suppressed)
+    }
+
+    /// Unsuppressed error-severity findings — what fails the gate.
+    pub fn error_count(&self) -> usize {
+        self.active().filter(|f| f.severity == "error").count()
+    }
+
+    /// Suppressed findings.
+    pub fn suppressed_count(&self) -> usize {
+        self.findings.iter().filter(|f| f.suppressed).count()
+    }
+
+    /// Render the machine-readable report.
+    pub fn to_json(&self) -> String {
+        #[derive(Serialize)]
+        struct JsonReport {
+            schema: String,
+            files_scanned: usize,
+            errors: usize,
+            suppressed: usize,
+            by_rule: BTreeMap<String, usize>,
+            findings: Vec<Finding>,
+        }
+        let mut by_rule: BTreeMap<String, usize> = BTreeMap::new();
+        for r in RULES {
+            by_rule.insert(r.id.to_string(), 0);
+        }
+        for f in self.active() {
+            if let Some(n) = by_rule.get_mut(f.rule.as_str()) {
+                *n += 1;
+            }
+        }
+        let report = JsonReport {
+            schema: "reshape-lint/1".to_string(),
+            files_scanned: self.files_scanned,
+            errors: self.error_count(),
+            suppressed: self.suppressed_count(),
+            by_rule,
+            findings: self.findings.clone(),
+        };
+        serde_json::to_string_pretty(&report).unwrap_or_else(|_| "{}".to_string())
+    }
+}
+
+/// A parsed `lint:allow(ID, reason)` suppression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Allow {
+    rule: String,
+    reason: String,
+}
+
+/// Parse the suppressions in one comment. The reason is mandatory; an
+/// allow without one is ignored so stale blanket suppressions cannot
+/// accumulate silently.
+fn parse_allows(comment: &str) -> Vec<Allow> {
+    let mut out = Vec::new();
+    let mut rest = comment;
+    while let Some(pos) = rest.find("lint:allow(") {
+        let inner = &rest[pos + "lint:allow(".len()..];
+        // The reason may itself contain parentheses; take up to the last
+        // closing one so prose like "(the whole point)" survives.
+        let Some(close) = inner.rfind(')') else {
+            break;
+        };
+        let body = &inner[..close];
+        if let Some((id, reason)) = body.split_once(',') {
+            let reason = reason.trim();
+            if !reason.is_empty() {
+                out.push(Allow {
+                    rule: id.trim().to_string(),
+                    reason: reason.to_string(),
+                });
+            }
+        }
+        rest = &inner[close..];
+    }
+    out
+}
+
+/// Lint one file's source text under the given context.
+pub fn lint_source(ctx: &FileContext, source: &str) -> Vec<Finding> {
+    let lines = scanner::scan(source);
+    let applicable: Vec<&Rule> = RULES.iter().filter(|r| r.applies_to(ctx)).collect();
+    if applicable.is_empty() {
+        return Vec::new();
+    }
+    let mut findings = Vec::new();
+    for (i, line) in lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        // Suppressions on the offending line or the line directly above.
+        let mut allows = parse_allows(&line.comment);
+        if i > 0 {
+            allows.extend(parse_allows(&lines[i - 1].comment));
+        }
+        for rule in &applicable {
+            for message in (rule.check)(line) {
+                let allow = allows.iter().find(|a| a.rule == rule.id);
+                findings.push(Finding {
+                    rule: rule.id.to_string(),
+                    severity: rule.severity.label().to_string(),
+                    file: ctx.rel.clone(),
+                    line: line.number,
+                    message,
+                    snippet: line.raw.trim().to_string(),
+                    suppressed: allow.is_some(),
+                    suppress_reason: allow.map(|a| a.reason.clone()),
+                });
+            }
+        }
+    }
+    findings
+}
+
+/// Lint every classified `.rs` file under `root`.
+pub fn lint_tree(root: &Path) -> std::io::Result<Report> {
+    let mut report = Report::default();
+    for path in collect_rs_files(root)? {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let Some(ctx) = classify(&rel) else {
+            continue;
+        };
+        let source = std::fs::read_to_string(&path)?;
+        report.files_scanned += 1;
+        report.findings.extend(lint_source(&ctx, &source));
+    }
+    report
+        .findings
+        .sort_by(|a, b| (&a.file, a.line, &a.rule).cmp(&(&b.file, b.line, &b.rule)));
+    Ok(report)
+}
+
+/// The workspace root this crate was built in, for self-linting.
+pub fn workspace_root() -> std::path::PathBuf {
+    // crates/lint -> crates -> workspace root.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .map(Path::to_path_buf)
+        .unwrap_or_else(|| Path::new(".").to_path_buf())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lib_ctx(rel: &str) -> FileContext {
+        classify(rel).expect("classifiable path")
+    }
+
+    #[test]
+    fn suppression_needs_a_reason() {
+        let ctx = lib_ctx("crates/binpack/src/x.rs");
+        let bare = "let v = o.unwrap(); // lint:allow(RL001)\n";
+        let f = lint_source(&ctx, bare);
+        assert_eq!(f.len(), 1);
+        assert!(!f[0].suppressed, "reasonless allow must not suppress");
+
+        let good = "let v = o.unwrap(); // lint:allow(RL001, checked two lines up)\n";
+        let f = lint_source(&ctx, good);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].suppressed);
+        assert_eq!(
+            f[0].suppress_reason.as_deref(),
+            Some("checked two lines up")
+        );
+    }
+
+    #[test]
+    fn suppression_on_previous_line_counts() {
+        let ctx = lib_ctx("crates/binpack/src/x.rs");
+        let src =
+            "// lint:allow(RL002, sanitizer abort is the whole point)\npanic!(\"invariant\");\n";
+        let f = lint_source(&ctx, src);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].suppressed);
+    }
+
+    #[test]
+    fn suppression_reason_may_contain_parens() {
+        let allows = parse_allows(" lint:allow(RL002, aborting here is fine (the whole point))");
+        assert_eq!(allows.len(), 1);
+        assert_eq!(allows[0].reason, "aborting here is fine (the whole point)");
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let ctx = lib_ctx("crates/binpack/src/x.rs");
+        let src =
+            "fn lib() {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { x.unwrap(); }\n}\n";
+        assert!(lint_source(&ctx, src).is_empty());
+    }
+
+    #[test]
+    fn scope_is_respected() {
+        // HashMap is fine in a crate outside the determinism-sensitive set.
+        let lint_crate = lib_ctx("crates/lint/src/x.rs");
+        let src = "use std::collections::HashMap;\n";
+        assert!(lint_source(&lint_crate, src).is_empty());
+        let binpack = lib_ctx("crates/binpack/src/x.rs");
+        assert_eq!(lint_source(&binpack, src).len(), 1);
+    }
+
+    #[test]
+    fn json_is_deterministic_and_tagged() {
+        let ctx = lib_ctx("crates/binpack/src/x.rs");
+        let report = Report {
+            files_scanned: 1,
+            findings: lint_source(&ctx, "x.unwrap();\n"),
+        };
+        let a = report.to_json();
+        assert_eq!(a, report.to_json());
+        assert!(a.contains("\"schema\": \"reshape-lint/1\""));
+        assert!(a.contains("\"RL001\": 1"));
+    }
+}

@@ -1,0 +1,80 @@
+//! The `reshape-lint` driver binary.
+//!
+//! Usage: `cargo run -p lint [--] [ROOT] [--json] [--no-write]`
+//!
+//! * `ROOT` — tree to lint (defaults to the workspace root),
+//! * `--json` — print the JSON report to stdout instead of human output,
+//! * `--no-write` — skip writing `results/LINT.json`.
+//!
+//! Exit codes: 0 clean, 1 unsuppressed errors found, 2 usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut json = false;
+    let mut write = true;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--no-write" => write = false,
+            "--help" | "-h" => {
+                println!("usage: lint [ROOT] [--json] [--no-write]");
+                return ExitCode::SUCCESS;
+            }
+            other if root.is_none() && !other.starts_with('-') => {
+                root = Some(PathBuf::from(other));
+            }
+            other => {
+                eprintln!("lint: unknown argument {other:?}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = root.unwrap_or_else(lint::workspace_root);
+
+    let report = match lint::lint_tree(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("lint: failed to scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if write {
+        let results = root.join("results");
+        let path = results.join("LINT.json");
+        if let Err(e) =
+            std::fs::create_dir_all(&results).and_then(|()| std::fs::write(&path, report.to_json()))
+        {
+            eprintln!("lint: failed to write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    if json {
+        println!("{}", report.to_json());
+    } else {
+        for f in report.active() {
+            println!(
+                "{}[{}]: {}:{}: {}",
+                f.severity, f.rule, f.file, f.line, f.message
+            );
+            println!("    | {}", f.snippet);
+        }
+        let errors = report.error_count();
+        let suppressed = report.suppressed_count();
+        let verdict = if errors == 0 { "clean" } else { "FAILED" };
+        println!(
+            "reshape-lint: {verdict} — {} files scanned, {errors} errors, {suppressed} suppressed",
+            report.files_scanned
+        );
+    }
+
+    if report.error_count() > 0 {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,328 @@
+//! A lightweight, context-aware line scanner for Rust sources.
+//!
+//! The lint rules are lexical, but naive substring matching would fire on
+//! string literals ("panic! is bad"), comments, and test code. This scanner
+//! resolves just enough context to avoid that without pulling in a real
+//! parser (the build environment has no registry access, so `syn` and
+//! friends are off the table):
+//!
+//! * string literals (plain, raw, byte), char literals and comments are
+//!   masked out of the `code` view of each line,
+//! * comment text is preserved separately so `// lint:allow(...)`
+//!   suppressions can be parsed,
+//! * `#[cfg(test)]`-gated items (and `#[test]` functions) are tracked via
+//!   brace depth, so rules can skip test code embedded in library files.
+//!
+//! The scanner is deliberately forgiving: malformed input never panics, it
+//! just degrades to masking less than it could.
+
+/// One scanned source line with its lexical context resolved.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Line {
+    /// 1-based line number.
+    pub number: usize,
+    /// The original line text.
+    pub raw: String,
+    /// The line with string/char literals and comments masked to spaces.
+    /// Rule matching runs against this view.
+    pub code: String,
+    /// Comment text found on this line (line comments and block-comment
+    /// interiors), for suppression parsing.
+    pub comment: String,
+    /// True when the line is inside a `#[cfg(test)]`-gated item or is the
+    /// attribute/header line of one.
+    pub in_test: bool,
+}
+
+/// Cross-line lexical mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Code,
+    /// Inside a plain (or byte) string literal.
+    Str,
+    /// Inside a raw string literal with this many `#`s.
+    RawStr(usize),
+    /// Inside a block comment nested this deep.
+    Block(usize),
+}
+
+/// Does this character extend an identifier?
+fn is_ident(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// Is the remainder of `chars` starting at `i` a test-gating attribute?
+/// Matches `#[cfg(test)]`, `#[cfg(all(test, ...))]` and `#[test]` with
+/// arbitrary interior whitespace.
+fn is_test_attr(chars: &[char], i: usize) -> bool {
+    let squashed: String = chars[i..].iter().filter(|c| !c.is_whitespace()).collect();
+    squashed.starts_with("#[cfg(test)]")
+        || squashed.starts_with("#[cfg(all(test")
+        || squashed.starts_with("#[cfg(any(test")
+        || squashed.starts_with("#[test]")
+}
+
+/// Scan a whole source file into context-resolved lines.
+pub fn scan(source: &str) -> Vec<Line> {
+    let mut mode = Mode::Code;
+    let mut depth: usize = 0;
+    // Brace depths at which a test-gated item opened.
+    let mut test_stack: Vec<usize> = Vec::new();
+    // A test attribute was seen and its item's `{` has not yet opened.
+    let mut pending_attr = false;
+    let mut out = Vec::new();
+
+    for (idx, raw) in source.lines().enumerate() {
+        let chars: Vec<char> = raw.chars().collect();
+        let mut code = String::with_capacity(chars.len());
+        let mut comment = String::new();
+        let mut in_test = pending_attr || !test_stack.is_empty();
+        let mut i = 0;
+        while i < chars.len() {
+            let c = chars[i];
+            match mode {
+                Mode::Str => {
+                    code.push(' ');
+                    if c == '\\' && i + 1 < chars.len() {
+                        code.push(' ');
+                        i += 1;
+                    } else if c == '"' {
+                        mode = Mode::Code;
+                    }
+                    i += 1;
+                }
+                Mode::RawStr(h) => {
+                    let closes =
+                        c == '"' && chars[i + 1..].iter().take_while(|&&x| x == '#').count() >= h;
+                    code.push(' ');
+                    if closes {
+                        for _ in 0..h {
+                            code.push(' ');
+                        }
+                        i += h;
+                        mode = Mode::Code;
+                    }
+                    i += 1;
+                }
+                Mode::Block(d) => {
+                    if c == '*' && chars.get(i + 1) == Some(&'/') {
+                        code.push_str("  ");
+                        i += 2;
+                        mode = if d > 1 {
+                            Mode::Block(d - 1)
+                        } else {
+                            Mode::Code
+                        };
+                    } else if c == '/' && chars.get(i + 1) == Some(&'*') {
+                        code.push_str("  ");
+                        i += 2;
+                        mode = Mode::Block(d + 1);
+                    } else {
+                        comment.push(c);
+                        code.push(' ');
+                        i += 1;
+                    }
+                }
+                Mode::Code => {
+                    let prev_ident = i > 0 && is_ident(chars[i - 1]);
+                    if c == '/' && chars.get(i + 1) == Some(&'/') {
+                        // Line comment: the rest of the line is comment text.
+                        comment.extend(&chars[i + 2..]);
+                        for _ in i..chars.len() {
+                            code.push(' ');
+                        }
+                        break;
+                    } else if c == '/' && chars.get(i + 1) == Some(&'*') {
+                        code.push_str("  ");
+                        i += 2;
+                        mode = Mode::Block(1);
+                    } else if c == '"' {
+                        code.push(' ');
+                        i += 1;
+                        mode = Mode::Str;
+                    } else if (c == 'r' || c == 'b') && !prev_ident {
+                        // Raw / byte string starts: r", r#", br", b".
+                        let mut j = i + 1;
+                        if c == 'b' && chars.get(j) == Some(&'r') {
+                            j += 1;
+                        }
+                        let hashes = chars[j..].iter().take_while(|&&x| x == '#').count();
+                        let is_raw = (c == 'r' || chars.get(i + 1) == Some(&'r'))
+                            && chars.get(j + hashes) == Some(&'"');
+                        let is_plain_byte = c == 'b' && hashes == 0 && chars.get(j) == Some(&'"');
+                        if is_raw {
+                            for _ in i..=(j + hashes) {
+                                code.push(' ');
+                            }
+                            i = j + hashes + 1;
+                            mode = Mode::RawStr(hashes);
+                        } else if is_plain_byte {
+                            code.push_str("  ");
+                            i += 2;
+                            mode = Mode::Str;
+                        } else {
+                            code.push(c);
+                            i += 1;
+                        }
+                    } else if c == '\'' {
+                        // Char literal vs lifetime.
+                        if chars.get(i + 1) == Some(&'\\') {
+                            // Escaped char literal: mask to the closing quote.
+                            let mut j = i + 2;
+                            if j < chars.len() {
+                                j += 1; // the escaped character itself
+                            }
+                            while j < chars.len() && chars[j] != '\'' {
+                                j += 1;
+                            }
+                            for _ in i..=j.min(chars.len().saturating_sub(1)) {
+                                code.push(' ');
+                            }
+                            i = j + 1;
+                        } else if chars.get(i + 2) == Some(&'\'') {
+                            code.push_str("   ");
+                            i += 3;
+                        } else {
+                            // Lifetime (or label): keep it.
+                            code.push(c);
+                            i += 1;
+                        }
+                    } else if c == '#' && is_test_attr(&chars, i) {
+                        pending_attr = true;
+                        in_test = true;
+                        code.push(c);
+                        i += 1;
+                    } else if c == '{' {
+                        depth += 1;
+                        if pending_attr {
+                            test_stack.push(depth);
+                            pending_attr = false;
+                            in_test = true;
+                        }
+                        code.push(c);
+                        i += 1;
+                    } else if c == '}' {
+                        if test_stack.last() == Some(&depth) {
+                            test_stack.pop();
+                        }
+                        depth = depth.saturating_sub(1);
+                        code.push(c);
+                        i += 1;
+                    } else if c == ';' {
+                        // An attribute that gated a braceless item (e.g.
+                        // `#[cfg(test)] use ...;`) is spent at the semicolon.
+                        pending_attr = false;
+                        code.push(c);
+                        i += 1;
+                    } else {
+                        code.push(c);
+                        i += 1;
+                    }
+                }
+            }
+        }
+        out.push(Line {
+            number: idx + 1,
+            raw: raw.to_string(),
+            code,
+            comment,
+            in_test,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn code_of(src: &str) -> Vec<String> {
+        scan(src).into_iter().map(|l| l.code).collect()
+    }
+
+    #[test]
+    fn masks_string_literals() {
+        let c = code_of("let x = \"panic!(boom)\";");
+        assert!(!c[0].contains("panic!"));
+        assert!(c[0].contains("let x ="));
+        assert!(c[0].ends_with(';'));
+    }
+
+    #[test]
+    fn masks_raw_strings_with_hashes() {
+        let c = code_of("let x = r#\"a \"quoted\" unwrap()\"#; x.touch();");
+        assert!(!c[0].contains("unwrap"));
+        assert!(c[0].contains("x.touch()"));
+    }
+
+    #[test]
+    fn masks_line_and_block_comments_but_keeps_text() {
+        let lines = scan("foo(); // has .unwrap() inside\nbar(); /* block todo!() */ baz();");
+        assert!(!lines[0].code.contains("unwrap"));
+        assert!(lines[0].comment.contains("has .unwrap() inside"));
+        assert!(!lines[1].code.contains("todo!"));
+        assert!(lines[1].code.contains("baz()"));
+        assert!(lines[1].comment.contains("block todo!()"));
+    }
+
+    #[test]
+    fn block_comments_nest_and_span_lines() {
+        let lines = scan("/* outer /* inner */ still comment unwrap() */\ncode();");
+        assert!(!lines[0].code.contains("unwrap"));
+        assert!(lines[1].code.contains("code()"));
+    }
+
+    #[test]
+    fn strings_span_lines() {
+        let lines = scan("let s = \"first unwrap()\nsecond panic!\";\nafter();");
+        assert!(!lines[0].code.contains("unwrap"));
+        assert!(!lines[1].code.contains("panic!"));
+        assert!(lines[2].code.contains("after()"));
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let c = code_of("fn f<'a>(x: &'a str) { if c == '{' { g('\\n'); } }");
+        // The literal braces must not disturb matching — they are masked.
+        assert!(c[0].contains("fn f<'a>(x: &'a str)"));
+        assert!(!c[0].contains("'{'"));
+        assert!(!c[0].contains("\\n"));
+    }
+
+    #[test]
+    fn cfg_test_module_is_tracked() {
+        let src =
+            "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn lib2() {}";
+        let lines = scan(src);
+        assert!(!lines[0].in_test, "library fn marked as test");
+        assert!(lines[1].in_test, "attribute line");
+        assert!(lines[2].in_test, "mod header");
+        assert!(lines[3].in_test, "test body");
+        assert!(lines[4].in_test, "closing brace");
+        assert!(!lines[5].in_test, "library code after the test mod");
+    }
+
+    #[test]
+    fn cfg_test_on_braceless_item_does_not_leak() {
+        let src = "#[cfg(test)]\nuse helper::thing;\nfn lib() { x.unwrap(); }";
+        let lines = scan(src);
+        assert!(lines[1].in_test);
+        assert!(!lines[2].in_test, "attribute leaked past the use item");
+    }
+
+    #[test]
+    fn attr_and_brace_on_one_line() {
+        let lines = scan("#[cfg(test)] mod t { fn f() {} }\nfn lib() {}");
+        assert!(lines[0].in_test);
+        assert!(!lines[1].in_test);
+    }
+
+    #[test]
+    fn raw_identifiers_are_not_raw_strings() {
+        let c = code_of("let r#type = 1; other.unwrap();");
+        assert!(
+            c[0].contains("unwrap"),
+            "raw identifier ate the rest of the line"
+        );
+    }
+}

@@ -1,0 +1,57 @@
+//! Fixture: one violation of every rule, plus cases that must NOT fire.
+
+use std::collections::HashMap;
+
+pub fn unwraps(x: Option<u64>, y: Result<u64, ()>) -> u64 {
+    let a = x.unwrap();
+    let b = y.expect("fixture");
+    a + b
+}
+
+pub fn panics() {
+    panic!("fixture");
+}
+
+pub fn float_compare(x: f64) -> bool {
+    x == 0.0
+}
+
+pub fn clocked() {
+    let _t = std::time::Instant::now();
+}
+
+pub fn narrowing(total: u64) -> u32 {
+    total as u32
+}
+
+pub fn map() -> HashMap<u64, u64> {
+    HashMap::new()
+}
+
+pub fn suppressed(x: Option<u64>) -> u64 {
+    x.unwrap() // lint:allow(RL001, fixture demonstrates a justified unwrap)
+}
+
+pub fn reasonless(x: Option<u64>) -> u64 {
+    x.unwrap() // lint:allow(RL001)
+}
+
+pub fn not_code() {
+    // a comment mentioning .unwrap() and panic! must not fire
+    let _s = "string mentioning .unwrap() and panic! must not fire";
+    let _r = r#"raw string with todo!() and Instant::now"#;
+}
+
+pub fn widening(total: u32) -> u64 {
+    total as u64
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exempt() {
+        let x: Option<u64> = Some(1);
+        assert_eq!(x.unwrap(), 1);
+        assert!(0.0 == 0.0_f64.min(0.0));
+    }
+}

@@ -1,0 +1,10 @@
+//! Fixture: integration tests may unwrap and panic freely.
+
+#[test]
+fn tests_are_exempt() {
+    let x: Option<u64> = Some(1);
+    assert_eq!(x.unwrap(), 1);
+    if false {
+        panic!("fine in tests");
+    }
+}

@@ -1,0 +1,9 @@
+//! Fixture: narrowing casts in byte accounting fire RL006.
+
+pub fn lossy(size: u64) -> i16 {
+    size as i16
+}
+
+pub fn fine(size: u32) -> u64 {
+    size as u64
+}

@@ -1,0 +1,5 @@
+//! Fixture: hashed containers in determinism-sensitive code fire RL003.
+
+pub fn instances() -> std::collections::HashSet<u64> {
+    std::collections::HashSet::new()
+}

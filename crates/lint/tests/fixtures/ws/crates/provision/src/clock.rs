@@ -1,0 +1,5 @@
+//! Fixture: wall-clock reads in planning code fire RL005.
+
+pub fn stamp() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}

@@ -1,0 +1,5 @@
+//! Fixture: the workspace-root package is library code too.
+
+pub fn unfinished() {
+    todo!()
+}

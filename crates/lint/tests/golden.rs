@@ -1,0 +1,109 @@
+//! Golden-findings test over the fixture tree: every rule must fire at
+//! least once, at exactly the pinned locations, and the exemption
+//! machinery (tests, bench crate, suppressions, strings, comments) must
+//! hold.
+
+use std::path::PathBuf;
+
+fn fixture_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("fixtures")
+        .join("ws")
+}
+
+fn report() -> lint::Report {
+    lint::lint_tree(&fixture_root()).expect("fixture tree scans")
+}
+
+#[test]
+fn fixture_findings_match_golden_list() {
+    let expected: &[(&str, usize, &str)] = &[
+        ("crates/binpack/src/bad.rs", 3, "RL003"),
+        ("crates/binpack/src/bad.rs", 6, "RL001"),
+        ("crates/binpack/src/bad.rs", 7, "RL001"),
+        ("crates/binpack/src/bad.rs", 12, "RL002"),
+        ("crates/binpack/src/bad.rs", 16, "RL004"),
+        ("crates/binpack/src/bad.rs", 20, "RL005"),
+        ("crates/binpack/src/bad.rs", 24, "RL006"),
+        ("crates/binpack/src/bad.rs", 27, "RL003"),
+        ("crates/binpack/src/bad.rs", 28, "RL003"),
+        ("crates/binpack/src/bad.rs", 36, "RL001"), // reasonless allow does not suppress
+        ("crates/corpus/src/cast.rs", 4, "RL006"),
+        ("crates/ec2sim/src/map.rs", 3, "RL003"),
+        ("crates/ec2sim/src/map.rs", 4, "RL003"),
+        ("crates/provision/src/clock.rs", 4, "RL005"),
+        ("src/lib.rs", 4, "RL002"),
+    ];
+    let actual: Vec<(String, usize, String)> = report()
+        .active()
+        .map(|f| (f.file.clone(), f.line, f.rule.clone()))
+        .collect();
+    let expected: Vec<(String, usize, String)> = expected
+        .iter()
+        .map(|(f, l, r)| (f.to_string(), *l, r.to_string()))
+        .collect();
+    assert_eq!(actual, expected);
+}
+
+#[test]
+fn every_rule_fires_at_least_once_in_fixtures() {
+    let report = report();
+    for rule in lint::RULES {
+        assert!(
+            report.active().any(|f| f.rule == rule.id),
+            "{} never fired in the fixture tree",
+            rule.id
+        );
+    }
+}
+
+#[test]
+fn suppression_with_reason_is_honoured() {
+    let report = report();
+    let suppressed: Vec<_> = report.findings.iter().filter(|f| f.suppressed).collect();
+    assert_eq!(
+        suppressed.len(),
+        1,
+        "exactly one fixture finding is suppressed"
+    );
+    assert_eq!(suppressed[0].file, "crates/binpack/src/bad.rs");
+    assert_eq!(suppressed[0].line, 32);
+    assert_eq!(suppressed[0].rule, "RL001");
+    assert_eq!(
+        suppressed[0].suppress_reason.as_deref(),
+        Some("fixture demonstrates a justified unwrap")
+    );
+}
+
+#[test]
+fn exempt_locations_stay_silent() {
+    let report = report();
+    for f in report.active() {
+        assert!(
+            !f.file.starts_with("crates/bench/"),
+            "bench crate must be exempt, found {f:?}"
+        );
+        assert!(
+            !f.file.contains("/tests/"),
+            "integration tests must be exempt, found {f:?}"
+        );
+    }
+    // The string/comment decoys in bad.rs (lines 38-42) must not fire.
+    assert!(
+        !report
+            .active()
+            .any(|f| f.file.ends_with("bad.rs") && (38..=42).contains(&f.line)),
+        "a rule fired on masked string/comment text"
+    );
+}
+
+#[test]
+fn json_report_is_well_formed() {
+    let json = report().to_json();
+    assert!(json.contains("\"schema\": \"reshape-lint/1\""));
+    assert!(json.contains("\"errors\": 15"));
+    assert!(json.contains("\"suppressed\": 1"));
+    // Deterministic: a second render is byte-identical.
+    assert_eq!(json, report().to_json());
+}

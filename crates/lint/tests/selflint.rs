@@ -1,0 +1,37 @@
+//! The workspace must lint clean at default severity: every remaining
+//! violation is either fixed or carries a reasoned `lint:allow`.
+
+#[test]
+fn workspace_self_lints_clean() {
+    let report = lint::lint_tree(&lint::workspace_root()).expect("workspace scans");
+    assert!(
+        report.files_scanned > 50,
+        "suspiciously few files scanned ({}) — walker broken?",
+        report.files_scanned
+    );
+    let offenders: Vec<String> = report
+        .active()
+        .filter(|f| f.severity == "error")
+        .map(|f| format!("{}:{} {} {}", f.file, f.line, f.rule, f.message))
+        .collect();
+    assert!(
+        offenders.is_empty(),
+        "workspace does not self-lint clean:\n{}",
+        offenders.join("\n")
+    );
+}
+
+#[test]
+fn suppressions_in_the_workspace_all_carry_reasons() {
+    let report = lint::lint_tree(&lint::workspace_root()).expect("workspace scans");
+    for f in report.findings.iter().filter(|f| f.suppressed) {
+        let reason = f.suppress_reason.as_deref().unwrap_or("");
+        assert!(
+            reason.len() >= 10,
+            "{}:{} {} has a throwaway suppression reason {reason:?}",
+            f.file,
+            f.line,
+            f.rule
+        );
+    }
+}

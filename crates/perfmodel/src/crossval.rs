@@ -31,7 +31,7 @@ pub struct CvScore {
 pub fn cross_validate(kind: ModelKind, xs: &[f64], ys: &[f64]) -> Option<CvScore> {
     assert_eq!(xs.len(), ys.len(), "x/y length mismatch");
     let mut volumes: Vec<f64> = xs.to_vec();
-    volumes.sort_by(|a, b| a.partial_cmp(b).expect("finite volumes"));
+    volumes.sort_by(f64::total_cmp);
     volumes.dedup();
     if volumes.len() < 3 {
         return None;
@@ -45,7 +45,7 @@ pub fn cross_validate(kind: ModelKind, xs: &[f64], ys: &[f64]) -> Option<CvScore
             .map(|(&x, &y)| (x, y))
             .unzip();
         let mut distinct = train_x.clone();
-        distinct.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        distinct.sort_by(f64::total_cmp);
         distinct.dedup();
         if distinct.len() < 2 {
             return None;
@@ -68,6 +68,7 @@ pub fn cross_validate(kind: ModelKind, xs: &[f64], ys: &[f64]) -> Option<CvScore
     Some(CvScore {
         kind,
         mean_rel_error: errors.iter().sum::<f64>() / errors.len() as f64,
+        // lint:allow(RL001, the volumes.len() >= 3 guard above puts at least two entries in errors)
         largest_volume_error: *errors.last().expect("at least 3 volumes"),
     })
 }
@@ -82,9 +83,9 @@ pub fn select_by_cross_validation(xs: &[f64], ys: &[f64]) -> (Fit, Vec<CvScore>)
         .filter_map(|&k| cross_validate(k, xs, ys))
         .collect();
     scores.sort_by(|a, b| {
-        (a.largest_volume_error, a.mean_rel_error)
-            .partial_cmp(&(b.largest_volume_error, b.mean_rel_error))
-            .expect("finite scores")
+        a.largest_volume_error
+            .total_cmp(&b.largest_volume_error)
+            .then(a.mean_rel_error.total_cmp(&b.mean_rel_error))
     });
     let winner = match scores.first() {
         Some(best) => fit(best.kind, xs, ys),

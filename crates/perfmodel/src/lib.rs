@@ -19,6 +19,8 @@
 //!    deadline* `D/(1+a)`, `a = z·σ+μ` over the relative residuals, which
 //!    bounds the miss probability.
 
+#![forbid(unsafe_code)]
+
 pub mod crossval;
 pub mod deadline;
 pub mod probe;

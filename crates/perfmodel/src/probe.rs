@@ -295,7 +295,7 @@ pub fn choose_unit_size(results: &[ProbeSetResult], stability_cv: f64) -> Option
         .min_by(|a, b| {
             let ka = a.2.mean() + a.2.stddev();
             let kb = b.2.mean() + b.2.stddev();
-            ka.partial_cmp(&kb).expect("finite measurements")
+            ka.total_cmp(&kb)
         })
         .map(|(unit, _, _)| *unit)
 }

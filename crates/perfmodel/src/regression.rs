@@ -83,9 +83,11 @@ impl Fit {
             ModelKind::Linear => (self.a > 0.0 && y >= 0.0).then(|| y / self.a),
             ModelKind::Affine => (self.a > 0.0).then(|| (y - self.b) / self.a),
             ModelKind::PowerLaw => {
+                // lint:allow(RL004, exact-zero guard against a degenerate exponent, not a tolerance check)
                 (self.a > 0.0 && self.b != 0.0 && y > 0.0).then(|| (y / self.a).powf(1.0 / self.b))
             }
             ModelKind::Exponential => {
+                // lint:allow(RL004, exact-zero guard against dividing by a zero rate, not a tolerance check)
                 (self.a > 0.0 && self.b != 0.0 && y > 0.0).then(|| (y / self.a).ln() / self.b)
             }
             ModelKind::LogQuad => {
@@ -137,11 +139,14 @@ fn finish(kind: ModelKind, a: f64, b: f64, xs: &[f64], ys: &[f64]) -> Fit {
         let p = fit.predict(x);
         fit.residuals.push(y - p);
         fit.relative_residuals
+            // lint:allow(RL004, exact-zero guard against division by a zero prediction)
             .push(if p != 0.0 { (y - p) / p } else { f64::NAN });
         ss_res += (y - p).powi(2);
         ss_tot += (y - mean_y).powi(2);
     }
+    // lint:allow(RL004, a constant response makes ss_tot exactly zero; R² is defined by cases there)
     fit.r2 = if ss_tot == 0.0 {
+        // lint:allow(RL004, exact-zero residual sum distinguishes a perfect constant fit)
         if ss_res == 0.0 {
             1.0
         } else {
@@ -196,6 +201,7 @@ pub fn fit(kind: ModelKind, xs: &[f64], ys: &[f64]) -> Fit {
             let t1: f64 = lx.iter().zip(&ly).map(|(&x, &y)| x * y).sum();
             let det = s22 * s11 - s21 * s21;
             let (a, b) = if det.abs() < 1e-12 {
+                // lint:allow(RL004, exact-zero guard against division by a zero moment)
                 (0.0, if s11 != 0.0 { t1 / s11 } else { 0.0 })
             } else {
                 ((t2 * s11 - t1 * s21) / det, (s22 * t1 - s21 * t2) / det)
@@ -216,6 +222,7 @@ fn ols(xs: &[f64], ys: &[f64]) -> (f64, f64) {
     let my = ys.iter().sum::<f64>() / n;
     let sxy: f64 = xs.iter().zip(ys).map(|(&x, &y)| (x - mx) * (y - my)).sum();
     let sxx: f64 = xs.iter().map(|&x| (x - mx).powi(2)).sum();
+    // lint:allow(RL004, exact-zero guard: identical x-values give a literal zero variance)
     let slope = if sxx == 0.0 { 0.0 } else { sxy / sxx };
     (my - slope * mx, slope)
 }
@@ -228,7 +235,8 @@ pub fn fit_all(xs: &[f64], ys: &[f64]) -> Vec<Fit> {
 /// The fit with the highest original-scale R².
 pub fn select_best(fits: &[Fit]) -> &Fit {
     fits.iter()
-        .max_by(|a, b| a.r2.partial_cmp(&b.r2).expect("finite R²"))
+        .max_by(|a, b| a.r2.total_cmp(&b.r2))
+        // lint:allow(RL001, callers pass the non-empty ModelKind::ALL fit set)
         .expect("at least one fit")
 }
 

@@ -39,6 +39,7 @@ impl Measurement {
     /// Coefficient of variation (σ/μ); infinite for a zero mean.
     pub fn cv(&self) -> f64 {
         let m = self.mean();
+        // lint:allow(RL004, exact-zero guard against dividing by a zero mean)
         if m == 0.0 {
             f64::INFINITY
         } else {

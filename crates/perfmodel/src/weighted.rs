@@ -36,6 +36,7 @@ fn wls(xs: &[f64], ys: &[f64], ws: &[f64]) -> (f64, f64) {
         .map(|((&x, &y), &w)| w * (x - mx) * (y - my))
         .sum();
     let sxx: f64 = xs.iter().zip(ws).map(|(&x, &w)| w * (x - mx).powi(2)).sum();
+    // lint:allow(RL004, exact-zero guard: identical x-values give a literal zero variance)
     let slope = if sxx == 0.0 { 0.0 } else { sxy / sxx };
     (my - slope * mx, slope)
 }
@@ -56,10 +57,12 @@ fn finish(kind: ModelKind, a: f64, b: f64, xs: &[f64], ys: &[f64]) -> Fit {
         let p = fit.predict(x);
         fit.residuals.push(y - p);
         fit.relative_residuals
+            // lint:allow(RL004, exact-zero guard against division by a zero prediction)
             .push(if p != 0.0 { (y - p) / p } else { f64::NAN });
         ss_res += (y - p).powi(2);
         ss_tot += (y - mean_y).powi(2);
     }
+    // lint:allow(RL004, a constant response makes ss_tot exactly zero; R² is defined by cases there)
     fit.r2 = if ss_tot == 0.0 {
         1.0
     } else {
@@ -130,6 +133,7 @@ pub fn fit_weighted(kind: ModelKind, xs: &[f64], ys: &[f64], weights: &[f64]) ->
                 .sum();
             let det = s22 * s11 - s21 * s21;
             let (a, b) = if det.abs() < 1e-12 {
+                // lint:allow(RL004, exact-zero guard against division by a zero moment)
                 (0.0, if s11 != 0.0 { t1 / s11 } else { 0.0 })
             } else {
                 ((t2 * s11 - t1 * s21) / det, (s22 * t1 - s21 * t2) / det)

@@ -7,6 +7,7 @@
 //! fleet size `i`: makespan is `f(V/i)` and cost is
 //! `i · ⌈f(V/i)/3600⌉ · r`, so an exhaustive sweep over `i` is exact.
 
+use crate::error::ProvisionError;
 use crate::plan::Plan;
 use crate::pricing::{instance_hours, PricingModel};
 use crate::strategy::{make_plan, Strategy};
@@ -91,17 +92,21 @@ pub fn plan_within_budget(
 /// The cheapest possible plan regardless of makespan: a single instance
 /// packing all hours (valid under any monotone model — the flat rate makes
 /// splitting across instances never cheaper for linear models, per §5).
-pub fn cheapest_plan(files: &[FileSpec], fit: &Fit, pricing: &PricingModel) -> BudgetPlan {
+pub fn cheapest_plan(
+    files: &[FileSpec],
+    fit: &Fit,
+    pricing: &PricingModel,
+) -> Result<BudgetPlan, ProvisionError> {
     let total: u64 = files.iter().map(|f| f.size).sum();
     let makespan = fit.predict(total as f64);
     let cost = instance_hours(makespan) as f64 * pricing.hourly_rate;
-    let plan = make_plan(Strategy::UniformBins, files, fit, makespan.max(1.0));
-    BudgetPlan {
+    let plan = make_plan(Strategy::UniformBins, files, fit, makespan.max(1.0))?;
+    Ok(BudgetPlan {
         predicted_makespan_secs: makespan,
         predicted_cost: cost,
         budget: cost,
         plan,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -173,7 +178,7 @@ mod tests {
     fn cheapest_plan_is_single_instance_cost() {
         let m = model();
         let p = PricingModel::default();
-        let cheap = cheapest_plan(&files(8), &m, &p);
+        let cheap = cheapest_plan(&files(8), &m, &p).unwrap();
         // ~7.8 work-hours => 8 billed hours.
         assert!(cheap.predicted_cost <= 8.0 * 0.085 + 1e-9);
         // And no budget below it is feasible.

@@ -198,7 +198,7 @@ mod tests {
         let mut cloud = Cloud::new(CloudConfig::ideal(1));
         let m = grep_fit();
         let files = corpus_files(40, 100_000_000);
-        let plan = make_plan(Strategy::UniformBins, &files, &m, 25.0);
+        let plan = make_plan(Strategy::UniformBins, &files, &m, 25.0).unwrap();
         let report = execute_dynamic(
             &mut cloud,
             &plan,
@@ -224,7 +224,7 @@ mod tests {
         });
         let m = grep_fit();
         let files = corpus_files(60, 100_000_000); // 6 GB
-        let plan = make_plan(Strategy::UniformBins, &files, &m, 40.0);
+        let plan = make_plan(Strategy::UniformBins, &files, &m, 40.0).unwrap();
         let report = execute_dynamic(
             &mut cloud,
             &plan,
@@ -245,7 +245,7 @@ mod tests {
         // seeds.
         let m = grep_fit();
         let files = corpus_files(60, 100_000_000); // 6 GB
-        let plan = make_plan(Strategy::UniformBins, &files, &m, 40.0);
+        let plan = make_plan(Strategy::UniformBins, &files, &m, 40.0).unwrap();
         let mut static_total = 0.0;
         let mut dynamic_total = 0.0;
         for seed in 0..12 {

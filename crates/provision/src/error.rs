@@ -1,0 +1,50 @@
+//! Typed errors for plan construction.
+//!
+//! Provisioning inverts the fitted performance model at the user deadline;
+//! both steps can fail for legitimate user inputs (a deadline below the
+//! model's fixed costs, a non-invertible family at that point), so they are
+//! errors, not panics — the pipeline and the bench bins decide how to
+//! surface them.
+
+use serde::{Deserialize, Serialize};
+
+/// Everything that can go wrong while turning (model, volume, deadline)
+/// into a provisioning plan.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ProvisionError {
+    /// The model family has no (finite, positive) inverse at the deadline —
+    /// e.g. a logarithmic fit asked for a runtime below its plateau.
+    NotInvertible {
+        /// The deadline that could not be inverted, seconds.
+        deadline_secs: f64,
+    },
+    /// The model inverts, but to less than one byte per instance: the
+    /// deadline is shorter than the model's fixed costs, so no fleet size
+    /// can meet it.
+    DeadlineBelowFixedCosts {
+        /// The offending deadline, seconds.
+        deadline_secs: f64,
+        /// The per-instance volume the inverse prescribed (< 1).
+        inverse_bytes: f64,
+    },
+}
+
+impl std::fmt::Display for ProvisionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProvisionError::NotInvertible { deadline_secs } => {
+                write!(f, "model not invertible at deadline {deadline_secs}s")
+            }
+            ProvisionError::DeadlineBelowFixedCosts {
+                deadline_secs,
+                inverse_bytes,
+            } => write!(
+                f,
+                "deadline {deadline_secs}s is below the model's fixed costs \
+                 (f^-1 = {inverse_bytes} bytes)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ProvisionError {}

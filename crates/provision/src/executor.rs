@@ -118,6 +118,7 @@ fn acquire_fleet_instance(
         not_before = ready;
         last = Some(inst);
     }
+    // lint:allow(RL001, the screening loop above always runs at least one attempt before falling through)
     Err(CloudError::NotRunning(last.expect("at least one attempt")))
 }
 
@@ -203,7 +204,7 @@ mod tests {
         let m = grep_fit();
         // 4 GB, deadline 20 s per instance -> ~ 1.4 GB per instance.
         let files = corpus_files(40, 100_000_000);
-        let plan = make_plan(Strategy::UniformBins, &files, &m, 20.0);
+        let plan = make_plan(Strategy::UniformBins, &files, &m, 20.0).unwrap();
         let report = execute_plan(
             &mut cloud,
             &plan,
@@ -222,7 +223,7 @@ mod tests {
         let mut cloud = Cloud::new(CloudConfig::ideal(2));
         let m = grep_fit();
         let files = corpus_files(100, 100_000_000); // 10 GB
-        let plan = make_plan(Strategy::UniformBins, &files, &m, 30.0);
+        let plan = make_plan(Strategy::UniformBins, &files, &m, 30.0).unwrap();
         assert!(plan.instance_count() >= 4);
         let report = execute_plan(
             &mut cloud,
@@ -249,7 +250,7 @@ mod tests {
         });
         let m = grep_fit();
         let files = corpus_files(100, 100_000_000);
-        let plan = make_plan(Strategy::UniformBins, &files, &m, 30.0);
+        let plan = make_plan(Strategy::UniformBins, &files, &m, 30.0).unwrap();
         let report = execute_plan(
             &mut cloud,
             &plan,
@@ -266,7 +267,7 @@ mod tests {
         let mut cloud = Cloud::new(CloudConfig::ideal(4));
         let m = grep_fit();
         let files = corpus_files(10, 100_000_000);
-        let plan = make_plan(Strategy::UniformBins, &files, &m, 60.0);
+        let plan = make_plan(Strategy::UniformBins, &files, &m, 60.0).unwrap();
         let cfg = ExecutionConfig {
             staging: StagingTier::Local,
             stage_in_secs: 25.0,
@@ -283,7 +284,7 @@ mod tests {
         let mut cloud = Cloud::new(CloudConfig::ideal(5));
         let m = grep_fit();
         let files = corpus_files(30, 100_000_000);
-        let plan = make_plan(Strategy::UniformBins, &files, &m, 15.0);
+        let plan = make_plan(Strategy::UniformBins, &files, &m, 15.0).unwrap();
         let report = execute_plan(
             &mut cloud,
             &plan,

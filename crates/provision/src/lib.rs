@@ -15,8 +15,11 @@
 //! 5. executes the plan on the simulated cloud, one instance per bin, and
 //!    reports per-instance times, misses, instance-hours and dollars.
 
+#![forbid(unsafe_code)]
+
 pub mod budget;
 pub mod dynamic;
+pub mod error;
 pub mod executor;
 pub mod montecarlo;
 pub mod plan;
@@ -28,6 +31,7 @@ pub mod workflow;
 
 pub use budget::{cheapest_plan, plan_within_budget, BudgetPlan};
 pub use dynamic::{execute_dynamic, DynamicConfig, DynamicReport};
+pub use error::ProvisionError;
 pub use executor::{execute_plan, ExecutionConfig, ExecutionReport, InstanceRun, StagingTier};
 pub use montecarlo::{evaluate_plan, PlanDistribution};
 pub use plan::{InstancePlan, Plan};

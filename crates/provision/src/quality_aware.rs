@@ -284,7 +284,7 @@ mod tests {
         let mut naive_misses = 0;
         let mut aware_misses = 0;
         for seed in 0..8 {
-            let plan = make_plan(Strategy::UniformBins, &files, &f, deadline);
+            let plan = make_plan(Strategy::UniformBins, &files, &f, deadline).unwrap();
             let mut cloud = Cloud::new(hostile(100 + seed));
             naive_misses += crate::executor::execute_plan(
                 &mut cloud,

@@ -1,5 +1,6 @@
 //! Planning strategies — the variants compared across Figs 8 and 9.
 
+use crate::error::ProvisionError;
 use crate::plan::Plan;
 use binpack::{first_fit, uniform_k_bins, Item};
 use corpus::FileSpec;
@@ -42,27 +43,37 @@ fn bins_to_filelists(packing: &binpack::Packing, files: &[FileSpec]) -> Vec<Vec<
         .collect()
 }
 
+/// Invert `fit` at deadline `d`, mapping the two failure modes (no inverse,
+/// inverse below one byte per instance) to typed errors.
+fn invert_at(fit: &Fit, d: f64) -> Result<u64, ProvisionError> {
+    let x = fit
+        .invert(d)
+        .ok_or(ProvisionError::NotInvertible { deadline_secs: d })?;
+    if x < 1.0 {
+        return Err(ProvisionError::DeadlineBelowFixedCosts {
+            deadline_secs: d,
+            inverse_bytes: x,
+        });
+    }
+    Ok(x as u64)
+}
+
 /// Build a plan for processing `files` before `deadline_secs` under `fit`.
 ///
-/// Panics if the model cannot be inverted at the deadline or prescribes a
+/// Errors if the model cannot be inverted at the deadline or prescribes a
 /// non-positive per-instance volume (deadline shorter than the model's
 /// fixed costs).
-pub fn make_plan(strategy: Strategy, files: &[FileSpec], fit: &Fit, deadline_secs: f64) -> Plan {
+pub fn make_plan(
+    strategy: Strategy,
+    files: &[FileSpec],
+    fit: &Fit,
+    deadline_secs: f64,
+) -> Result<Plan, ProvisionError> {
     let total: u64 = files.iter().map(|f| f.size).sum();
-    let invert_or_panic = |d: f64| -> u64 {
-        let x = fit
-            .invert(d)
-            .unwrap_or_else(|| panic!("model not invertible at deadline {d}"));
-        assert!(
-            x >= 1.0,
-            "deadline {d}s is below the model's fixed costs (f^-1 = {x})"
-        );
-        x as u64
-    };
 
-    match strategy {
+    let plan = match strategy {
         Strategy::CapacityDriven => {
-            let x0 = invert_or_panic(deadline_secs);
+            let x0 = invert_at(fit, deadline_secs)?;
             let packing = first_fit(&to_items(files), x0);
             Plan::from_bins(
                 bins_to_filelists(&packing, files),
@@ -73,7 +84,7 @@ pub fn make_plan(strategy: Strategy, files: &[FileSpec], fit: &Fit, deadline_sec
             )
         }
         Strategy::UniformBins => {
-            let x0 = invert_or_panic(deadline_secs);
+            let x0 = invert_at(fit, deadline_secs)?;
             let i = total.div_ceil(x0).max(1) as usize;
             let packing = uniform_k_bins(&to_items(files), i);
             Plan::from_bins(
@@ -88,7 +99,7 @@ pub fn make_plan(strategy: Strategy, files: &[FileSpec], fit: &Fit, deadline_sec
             let res = ResidualStats::from_relative_residuals(&fit.relative_residuals);
             let a = adjustment_factor(&res, p_miss);
             let d_adj = adjusted_deadline(deadline_secs, a);
-            let x0 = invert_or_panic(deadline_secs);
+            let x0 = invert_at(fit, deadline_secs)?;
             let i = total.div_ceil(x0).max(1) as usize;
             // Uniform over i instances gives V/i per instance; if that
             // already meets the adjusted deadline, keep the cheaper fleet.
@@ -99,7 +110,7 @@ pub fn make_plan(strategy: Strategy, files: &[FileSpec], fit: &Fit, deadline_sec
                 uniform_k_bins(&to_items(files), i)
             } else {
                 planning_deadline = d_adj;
-                let x_adj = invert_or_panic(d_adj);
+                let x_adj = invert_at(fit, d_adj)?;
                 let i_adj = total.div_ceil(x_adj).max(1) as usize;
                 uniform_k_bins(&to_items(files), i_adj)
             };
@@ -111,7 +122,8 @@ pub fn make_plan(strategy: Strategy, files: &[FileSpec], fit: &Fit, deadline_sec
                 x0,
             )
         }
-    }
+    };
+    Ok(plan)
 }
 
 #[cfg(test)]
@@ -141,7 +153,7 @@ mod tests {
         let m = model();
         // 100 MB of work, deadline 10 s → x0 ≈ 10 MB → 10 instances.
         let files = corpus_files(100, 1_000_000);
-        let plan = make_plan(Strategy::CapacityDriven, &files, &m, 10.0);
+        let plan = make_plan(Strategy::CapacityDriven, &files, &m, 10.0).unwrap();
         assert!(
             (9..=11).contains(&plan.instance_count()),
             "{}",
@@ -154,7 +166,7 @@ mod tests {
     fn uniform_bins_have_equal_volumes() {
         let m = model();
         let files = corpus_files(100, 1_000_000);
-        let plan = make_plan(Strategy::UniformBins, &files, &m, 10.0);
+        let plan = make_plan(Strategy::UniformBins, &files, &m, 10.0).unwrap();
         let vols: Vec<u64> = plan.instances.iter().map(|i| i.volume).collect();
         let max = *vols.iter().max().unwrap();
         let min = *vols.iter().min().unwrap();
@@ -165,8 +177,8 @@ mod tests {
     fn uniform_beats_capacity_driven_on_makespan() {
         let m = model();
         let files = corpus_files(105, 1_000_000);
-        let cap = make_plan(Strategy::CapacityDriven, &files, &m, 10.0);
-        let uni = make_plan(Strategy::UniformBins, &files, &m, 10.0);
+        let cap = make_plan(Strategy::CapacityDriven, &files, &m, 10.0).unwrap();
+        let uni = make_plan(Strategy::UniformBins, &files, &m, 10.0).unwrap();
         assert!(uni.predicted_makespan() <= cap.predicted_makespan() + 1e-9);
     }
 
@@ -174,10 +186,10 @@ mod tests {
     fn adjusted_deadline_never_plans_later() {
         let m = model();
         let files = corpus_files(100, 1_000_000);
-        let adj = make_plan(Strategy::AdjustedDeadline { p_miss: 0.1 }, &files, &m, 10.0);
+        let adj = make_plan(Strategy::AdjustedDeadline { p_miss: 0.1 }, &files, &m, 10.0).unwrap();
         assert!(adj.planning_deadline_secs <= adj.deadline_secs);
         // More conservative planning can only grow the fleet.
-        let uni = make_plan(Strategy::UniformBins, &files, &m, 10.0);
+        let uni = make_plan(Strategy::UniformBins, &files, &m, 10.0).unwrap();
         assert!(adj.instance_count() >= uni.instance_count());
     }
 
@@ -187,13 +199,14 @@ mod tests {
         // Deadline exactly at capacity: uniform bins sit at the deadline,
         // which cannot meet the adjusted deadline, so the fleet grows.
         let files = corpus_files(100, 1_000_000);
-        let uni = make_plan(Strategy::UniformBins, &files, &m, 10.0);
+        let uni = make_plan(Strategy::UniformBins, &files, &m, 10.0).unwrap();
         let adj = make_plan(
             Strategy::AdjustedDeadline { p_miss: 0.01 },
             &files,
             &m,
             10.0,
-        );
+        )
+        .unwrap();
         assert!(
             adj.instance_count() > uni.instance_count()
                 || adj.planning_deadline_secs < uni.planning_deadline_secs
@@ -201,10 +214,33 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "below the model's fixed costs")]
-    fn impossible_deadline_panics() {
+    fn impossible_deadline_is_a_typed_error() {
         let m = model();
         let files = corpus_files(10, 1_000_000);
-        make_plan(Strategy::CapacityDriven, &files, &m, 1.0e-9);
+        let err = make_plan(Strategy::CapacityDriven, &files, &m, 1.0e-9).unwrap_err();
+        assert!(matches!(
+            err,
+            ProvisionError::DeadlineBelowFixedCosts { .. }
+        ));
+        assert!(err.to_string().contains("fixed costs"), "{err}");
+    }
+
+    #[test]
+    fn non_invertible_model_is_a_typed_error() {
+        // A flat (zero-slope) affine model cannot be inverted anywhere
+        // below its intercept.
+        let xs: Vec<f64> = (1..=10).map(|i| i as f64 * 1.0e6).collect();
+        let ys: Vec<f64> = xs.iter().map(|_| 100.0).collect();
+        let m = fit_model(ModelKind::Affine, &xs, &ys);
+        let files = corpus_files(10, 1_000_000);
+        let err = make_plan(Strategy::UniformBins, &files, &m, 1.0).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                ProvisionError::NotInvertible { .. }
+                    | ProvisionError::DeadlineBelowFixedCosts { .. }
+            ),
+            "{err}"
+        );
     }
 }

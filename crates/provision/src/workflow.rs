@@ -56,7 +56,7 @@ pub struct WorkflowSchedule {
 }
 
 /// Errors from workflow scheduling.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum WorkflowError {
     /// The deadline is shorter than one hour per stage — no hour-aligned
     /// split exists.
@@ -68,6 +68,13 @@ pub enum WorkflowError {
     },
     /// A stage's model could not be inverted at its subdeadline.
     StageInfeasible(String),
+    /// Plan construction for a stage failed with a provisioning error.
+    StagePlanFailed {
+        /// The stage name.
+        stage: String,
+        /// The underlying provisioning error.
+        source: crate::error::ProvisionError,
+    },
 }
 
 impl std::fmt::Display for WorkflowError {
@@ -79,6 +86,9 @@ impl std::fmt::Display for WorkflowError {
             ),
             WorkflowError::StageInfeasible(name) => {
                 write!(f, "stage {name} cannot meet its subdeadline")
+            }
+            WorkflowError::StagePlanFailed { stage, source } => {
+                write!(f, "stage {stage} plan failed: {source}")
             }
         }
     }
@@ -135,6 +145,7 @@ pub fn schedule_workflow(
         let i = (0..alloc.len())
             .filter(|&i| alloc[i] > 1)
             .max_by(|&a, &b| alloc[a].cmp(&alloc[b]))
+            // lint:allow(RL001, hours >= stages guarantees some stage holds more than its minimum hour)
             .expect("hours >= stages guarantees a shavable stage");
         alloc[i] -= 1;
         used -= 1;
@@ -144,7 +155,7 @@ pub fn schedule_workflow(
         .enumerate()
         .map(|(i, w)| (i, hours as f64 * w / total_work - alloc[i] as f64))
         .collect();
-    remainders.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+    remainders.sort_by(|a, b| b.1.total_cmp(&a.1));
     let mut spare = hours - used;
     for (i, _) in remainders {
         if spare == 0 {
@@ -166,7 +177,12 @@ pub fn schedule_workflow(
         if !feasible {
             return Err(WorkflowError::StageInfeasible(stage.name.clone()));
         }
-        let plan = make_plan(Strategy::UniformBins, &current_files, &stage.fit, sub);
+        let plan = make_plan(Strategy::UniformBins, &current_files, &stage.fit, sub).map_err(
+            |source| WorkflowError::StagePlanFailed {
+                stage: stage.name.clone(),
+                source,
+            },
+        )?;
         predicted_cost += plan
             .instances
             .iter()

@@ -14,6 +14,8 @@
 //!   these are what the simulator executes, and their constants are
 //!   documented against the paper's published numbers in DESIGN.md §5.
 
+#![forbid(unsafe_code)]
+
 pub mod grep;
 pub mod grep_multi;
 pub mod model;

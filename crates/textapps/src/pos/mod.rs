@@ -75,6 +75,7 @@ impl Tag {
         Tag::ALL
             .iter()
             .position(|&t| t == self)
+            // lint:allow(RL001, Tag::ALL enumerates every variant by construction)
             .expect("tag in ALL")
     }
 }

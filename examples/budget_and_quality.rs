@@ -57,7 +57,8 @@ fn main() {
         ..CloudConfig::default()
     };
     let deadline = 60.0;
-    let plan = make_plan(Strategy::UniformBins, &files, &perf, deadline);
+    let plan =
+        make_plan(Strategy::UniformBins, &files, &perf, deadline).expect("feasible deadline");
 
     let mut cloud = Cloud::new(hostile);
     let naive = execute_plan(

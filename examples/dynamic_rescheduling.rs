@@ -17,7 +17,7 @@ fn main() {
     let files: Vec<corpus::FileSpec> = (0..80)
         .map(|i| corpus::FileSpec::new(i, 100_000_000))
         .collect(); // 8 GB
-    let plan = make_plan(Strategy::UniformBins, &files, &perf, 40.0);
+    let plan = make_plan(Strategy::UniformBins, &files, &perf, 40.0).expect("feasible deadline");
     println!(
         "plan: {} instances x {:.1} GB, deadline 40s",
         plan.instance_count(),

@@ -64,7 +64,8 @@ fn main() {
             Strategy::AdjustedDeadline { p_miss: 0.1 },
         ),
     ] {
-        let plan = make_plan(strategy, &manifest.files, &perf, deadline);
+        let plan =
+            make_plan(strategy, &manifest.files, &perf, deadline).expect("feasible deadline");
         let mut fleet = Cloud::new(CloudConfig {
             seed: 70,
             homogeneous: true,

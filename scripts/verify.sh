@@ -2,7 +2,7 @@
 # Full verification gate: build, lint, format, and test the workspace.
 #
 #   scripts/verify.sh          # everything
-#   scripts/verify.sh --fast   # skip clippy + fmt (tier-1 only)
+#   scripts/verify.sh --fast   # skip clippy + fmt + reshape-lint (tier-1 only)
 #
 # Tier-1 (ROADMAP.md) is `cargo build --release && cargo test -q`; this
 # script runs that plus workspace-wide tests, rustfmt and clippy so a clean
@@ -21,6 +21,8 @@ if [[ $fast -eq 0 ]]; then
   cargo fmt --check
   echo "==> cargo clippy (workspace, -D warnings)"
   cargo clippy --workspace --all-targets -- -D warnings
+  echo "==> reshape-lint (writes results/LINT.json)"
+  cargo run --release -q -p lint
 fi
 
 echo "==> cargo test -q (tier-1)"

@@ -5,4 +5,6 @@
 //! (`examples/`) and the cross-crate integration tests (`tests/`). See the
 //! workspace README for the full architecture.
 
+#![forbid(unsafe_code)]
+
 pub use reshape::*;

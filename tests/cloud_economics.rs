@@ -71,7 +71,7 @@ fn execution_report_is_internally_consistent() {
     let files: Vec<corpus::FileSpec> = (0..30)
         .map(|i| corpus::FileSpec::new(i, 100_000_000))
         .collect();
-    let plan = make_plan(Strategy::UniformBins, &files, &fit, 15.0);
+    let plan = make_plan(Strategy::UniformBins, &files, &fit, 15.0).unwrap();
     let mut cloud = Cloud::new(CloudConfig::default());
     let report = execute_plan(
         &mut cloud,

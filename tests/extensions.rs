@@ -29,7 +29,7 @@ fn budget_and_deadline_planning_are_duals() {
     let f = grep_fit();
     let files = unit_files(120); // 12 GB
     let pricing = PricingModel::default();
-    let deadline_plan = make_plan(Strategy::UniformBins, &files, &f, 30.0);
+    let deadline_plan = make_plan(Strategy::UniformBins, &files, &f, 30.0).unwrap();
     let price: f64 = deadline_plan
         .instances
         .iter()
@@ -46,7 +46,7 @@ fn weighted_fit_composes_with_planning() {
     let xs: Vec<f64> = (1..=20).map(|i| i as f64 * 1.0e8).collect();
     let ys: Vec<f64> = xs.iter().map(|&x| 1.0 + x / 75.0e6).collect();
     let wf = fit_weighted(ModelKind::Affine, &xs, &ys, &volume_weights(&xs));
-    let plan = make_plan(Strategy::UniformBins, &unit_files(40), &wf, 20.0);
+    let plan = make_plan(Strategy::UniformBins, &unit_files(40), &wf, 20.0).unwrap();
     assert!(plan.instance_count() >= 2);
     assert!(plan.predicted_feasible());
 }
@@ -109,7 +109,7 @@ fn workflow_schedule_end_to_end_executes() {
 
 #[test]
 fn montecarlo_distribution_is_sane() {
-    let plan = make_plan(Strategy::UniformBins, &unit_files(40), &grep_fit(), 25.0);
+    let plan = make_plan(Strategy::UniformBins, &unit_files(40), &grep_fit(), 25.0).unwrap();
     let dist = evaluate_plan(
         &plan,
         &GrepCostModel::default(),

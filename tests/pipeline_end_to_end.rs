@@ -19,6 +19,9 @@ fn grep_config() -> PipelineConfig {
             stability_cv: 0.25,
             min_sets: 3,
         },
+        // Run the packing-invariant sanitizer on every pipeline step, even
+        // when the test suite is compiled in release mode.
+        validate: true,
         ..PipelineConfig::default()
     }
 }
@@ -50,6 +53,7 @@ fn pos_pipeline_keeps_original_segmentation_and_meets_deadline() {
     let config = PipelineConfig {
         deadline_secs: 600.0,
         staging: StagingTier::Local,
+        validate: true,
         probe: ProbeCampaign {
             v0: 1_000_000,
             growth: 3,
@@ -117,6 +121,19 @@ fn cross_validated_weighted_selection_works_end_to_end() {
     assert_ne!(report.fit.kind, ModelKind::Exponential);
     assert!(report.fit.a > 0.0);
     assert!(!report.execution.runs.is_empty());
+}
+
+#[test]
+fn validation_knob_does_not_change_results() {
+    let manifest = corpus::html_18mil(0.0005, 27);
+    let workload = Workload::new(manifest, App::grep("zxqv"));
+    let mut unchecked = grep_config();
+    unchecked.validate = false;
+    let a = Pipeline::new(grep_config()).run(&workload).unwrap();
+    let b = Pipeline::new(unchecked).run(&workload).unwrap();
+    assert_eq!(a.unit, b.unit);
+    assert_eq!(a.planned_instances, b.planned_instances);
+    assert_eq!(a.execution.cost, b.execution.cost);
 }
 
 #[test]

@@ -51,6 +51,6 @@ pub use workload::{App, Workload};
 // Re-export the pieces users compose with.
 pub use binpack::{Algorithm, PackingStats, Parallelism};
 pub use corpus::{FileSpec, Manifest};
-pub use ec2sim::{Cloud, CloudConfig};
+pub use ec2sim::{Cloud, CloudConfig, FaultConfig, FaultPlan};
 pub use perfmodel::{Fit, ModelKind, ProbeCampaign, UnitSize};
-pub use provision::{ExecutionReport, StagingTier, Strategy};
+pub use provision::{DegradedReport, ExecutionReport, RetryPolicy, StagingTier, Strategy};

@@ -6,15 +6,18 @@ use crate::workload::Workload;
 use binpack::Parallelism;
 use corpus::{sample_by_volume, FileSpec, Manifest};
 use ec2sim::{
-    acquire_good_instance, Cloud, CloudConfig, CloudError, DataLocation, InstanceId,
-    ScreeningPolicy,
+    acquire_good_instance, Cloud, CloudConfig, CloudError, DataLocation, FaultConfig, FaultPlan,
+    InstanceId, ScreeningPolicy,
 };
 use perfmodel::{
     choose_unit_size, fit, fit_all, fit_weighted, inverse_variance_weights, select_best,
     select_by_cross_validation, volume_weights, Fit, ModelKind, ProbeCampaign, ProbeSetResult,
     UnitSize,
 };
-use provision::{execute_plan, make_plan, ExecutionConfig, ExecutionReport, StagingTier, Strategy};
+use provision::{
+    execute_plan, execute_plan_resilient, make_plan, DegradedReport, ExecutionConfig,
+    ExecutionReport, RetryPolicy, StagingTier, Strategy,
+};
 use serde::{Deserialize, Serialize};
 
 /// Random-sample refit parameters (§5.1: 10×2 GB for grep; §5.2: 3×5 MB
@@ -83,6 +86,12 @@ pub struct PipelineConfig {
     /// off in release; violations surface as
     /// [`PipelineError::InvariantViolation`].
     pub validate: bool,
+    /// Inject a seeded fault schedule (generated from the cloud seed) into
+    /// the simulated cloud. `None` (the default) runs fault-free.
+    pub faults: Option<FaultConfig>,
+    /// How execution reacts to injected faults (backoff, retries,
+    /// replacements). Only consulted when `faults` is set.
+    pub retry: RetryPolicy,
 }
 
 impl Default for PipelineConfig {
@@ -100,6 +109,8 @@ impl Default for PipelineConfig {
             screen_fleet: true,
             parallelism: Parallelism::default(),
             validate: cfg!(debug_assertions),
+            faults: None,
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -175,6 +186,8 @@ pub struct PipelineReport {
     pub execution: ExecutionReport,
     /// Instances burned before one passed screening.
     pub screening_attempts: usize,
+    /// Fault-injection accounting, when the pipeline ran with faults.
+    pub degraded: Option<DegradedReport>,
 }
 
 /// The pipeline runner.
@@ -191,7 +204,13 @@ impl Pipeline {
 
     /// Run the full pipeline for `workload`.
     pub fn run(&self, workload: &Workload) -> Result<PipelineReport, PipelineError> {
-        let mut cloud = Cloud::new(self.config.cloud);
+        let mut cloud = match &self.config.faults {
+            Some(fault_cfg) => Cloud::with_faults(
+                self.config.cloud,
+                &FaultPlan::generate(self.config.cloud.seed, fault_cfg),
+            ),
+            None => Cloud::new(self.config.cloud),
+        };
         let zone = ec2sim::AvailabilityZone::us_east_1a();
 
         // 1. Screened probe instance (§4).
@@ -305,7 +324,13 @@ impl Pipeline {
             screen: self.config.screen_fleet,
             ..ExecutionConfig::default()
         };
-        let execution = execute_plan(&mut cloud, &plan, model, &exec_cfg)?;
+        let (execution, degraded) = if self.config.faults.is_some() {
+            let report =
+                execute_plan_resilient(&mut cloud, &plan, model, &exec_cfg, &self.config.retry)?;
+            (report.execution.clone(), Some(report))
+        } else {
+            (execute_plan(&mut cloud, &plan, model, &exec_cfg)?, None)
+        };
 
         Ok(PipelineReport {
             unit,
@@ -317,6 +342,7 @@ impl Pipeline {
             predicted_makespan_secs: plan.predicted_makespan(),
             execution,
             screening_attempts: attempts,
+            degraded,
         })
     }
 
@@ -570,6 +596,37 @@ mod tests {
             let report = Pipeline::new(c).run(&workload).unwrap();
             assert_eq!(baseline, report, "pipeline diverged under {par:?}");
         }
+    }
+
+    #[test]
+    fn faulty_pipeline_reports_degradation_and_conserves_bytes() {
+        let manifest = corpus::html_18mil(0.001, 8);
+        let workload = Workload::new(manifest, App::grep("zxqv"));
+        let mut config = grep_config(10.0);
+        // Homogeneous fleet: the screened probe instance is ordinal 0 and
+        // the fault schedule below spares it (and its volume).
+        config.cloud.homogeneous = true;
+        config.screen_fleet = false;
+        config.faults = Some(FaultConfig {
+            horizon_secs: 300.0,
+            first_instance: 1,
+            first_volume: 1,
+            crash_prob: 0.3,
+            preemption_prob: 0.1,
+            boot_delay_prob: 0.5,
+            attach_failure_prob: 0.3,
+            ..FaultConfig::default()
+        });
+        let report = Pipeline::new(config.clone()).run(&workload).unwrap();
+        let degraded = report.degraded.clone().expect("degraded report present");
+        assert_eq!(degraded.execution, report.execution);
+        // Every reshaped byte either completed or is accounted as lost.
+        let done: u64 = degraded.share_files.iter().flatten().map(|f| f.size).sum();
+        let total: u64 = report.reshape.files.iter().map(|f| f.size).sum();
+        assert_eq!(done + degraded.lost_bytes, total);
+        // Same config ⇒ identical faulty run, degradation included.
+        let again = Pipeline::new(config).run(&workload).unwrap();
+        assert_eq!(report, again);
     }
 
     #[test]

@@ -3,6 +3,7 @@
 
 use crate::billing::BillingLedger;
 use crate::error::CloudError;
+use crate::faults::{FaultEvent, FaultPlan, FaultState};
 use crate::instance::{Instance, InstanceId, InstanceQuality, InstanceState};
 use crate::noise::NoiseModel;
 use crate::storage::{EbsVolume, ObjectStore, VolumeId};
@@ -133,6 +134,7 @@ pub struct Cloud {
     ledger: BillingLedger,
     rng: StdRng,
     busy: std::collections::BTreeMap<InstanceId, f64>,
+    faults: FaultState,
 }
 
 impl Cloud {
@@ -147,6 +149,52 @@ impl Cloud {
             s3: ObjectStore::new(),
             ledger: BillingLedger::new(),
             busy: std::collections::BTreeMap::new(),
+            faults: FaultState::default(),
+        }
+    }
+
+    /// Bring up a cloud that injects the scheduled faults. With
+    /// [`FaultPlan::none`] this behaves exactly like [`Cloud::new`]:
+    /// injection consumes no randomness of its own.
+    pub fn with_faults(config: CloudConfig, plan: &FaultPlan) -> Self {
+        let mut cloud = Cloud::new(config);
+        cloud.faults = FaultState::from_plan(plan);
+        cloud
+    }
+
+    /// Fault events that actually took effect so far, with the times they
+    /// fired (a subset of the plan: events targeting resources that were
+    /// never created, or scheduled after their target died, never fire).
+    pub fn fault_log(&self) -> &[FaultEvent] {
+        self.faults.fired()
+    }
+
+    /// The scheduled death time of an instance, if its fault plan has one.
+    pub fn crash_time(&self, id: InstanceId) -> Option<f64> {
+        self.faults.crash_schedule(id.0).map(|(t, _)| t)
+    }
+
+    /// Kill an instance at `at`: detach its volumes, bill its running
+    /// interval (flat per-started-hour, §1.1 — preemption never prorates)
+    /// and return the error the caller must propagate.
+    fn apply_crash(&mut self, id: InstanceId, at: f64, preempt: bool) -> CloudError {
+        for v in &mut self.volumes {
+            if v.attached_to == Some(id) {
+                v.attached_to = None;
+            }
+        }
+        if let Some(inst) = self.instances.get_mut(id.0 as usize) {
+            if inst.terminated_at.is_none() {
+                inst.terminated_at = Some(at);
+                let snapshot = self.instances[id.0 as usize].clone();
+                self.ledger.record(&snapshot, at);
+                self.faults.log_crash(id.0, at, preempt);
+            }
+        }
+        if preempt {
+            CloudError::SpotPreempted(id)
+        } else {
+            CloudError::InstanceCrashed(id)
         }
     }
 
@@ -203,7 +251,8 @@ impl Cloud {
         let jitter = self
             .rng
             .random_range(-self.config.startup_jitter_s..=self.config.startup_jitter_s);
-        let boot = (self.config.startup_mean_s + jitter).max(0.0);
+        let boot = (self.config.startup_mean_s + jitter).max(0.0)
+            + self.faults.take_boot_delay(id.0, self.now);
         let quality = if self.config.homogeneous {
             InstanceQuality {
                 cpu_factor: 1.0,
@@ -315,30 +364,51 @@ impl Cloud {
         id
     }
 
-    /// Attach a volume to a running instance (same zone, not attached
-    /// elsewhere). Costs `attach_overhead_s` of wall clock.
-    pub fn attach_volume(&mut self, vol: VolumeId, inst: InstanceId) -> Result<(), CloudError> {
+    /// Shared attach validation and fault injection as of time `at`.
+    /// Returns true when a new attachment was made (false: idempotent
+    /// re-attach by the holder).
+    fn attach_inner(
+        &mut self,
+        vol: VolumeId,
+        inst: InstanceId,
+        at: f64,
+    ) -> Result<bool, CloudError> {
+        if let Some((t_crash, preempt)) = self.faults.crash_schedule(inst.0) {
+            if at >= t_crash {
+                return Err(self.apply_crash(inst, t_crash, preempt));
+            }
+        }
         let instance = self.instance(inst)?;
-        if instance.state_at(self.now) != InstanceState::Running {
+        if instance.state_at(at) != InstanceState::Running {
             return Err(CloudError::NotRunning(inst));
         }
         let zone = instance.zone;
-        let overhead = self.config.attach_overhead_s;
-        let v = self
-            .volumes
-            .get_mut(vol.0 as usize)
-            .ok_or(CloudError::NoSuchVolume(vol))?;
+        let v = self.volume(vol)?;
         if let Some(holder) = v.attached_to {
             if holder != inst {
                 return Err(CloudError::VolumeBusy(vol, holder));
             }
-            return Ok(()); // idempotent re-attach
+            return Ok(false);
         }
         if v.zone != zone {
             return Err(CloudError::ZoneMismatch);
         }
-        v.attached_to = Some(inst);
-        self.now += overhead;
+        if self.faults.take_attach_failure(vol.0, at) {
+            return Err(CloudError::AttachFailed(vol));
+        }
+        if let Some(v) = self.volumes.get_mut(vol.0 as usize) {
+            v.attached_to = Some(inst);
+        }
+        Ok(true)
+    }
+
+    /// Attach a volume to a running instance (same zone, not attached
+    /// elsewhere). Costs `attach_overhead_s` of wall clock.
+    pub fn attach_volume(&mut self, vol: VolumeId, inst: InstanceId) -> Result<(), CloudError> {
+        let at = self.now;
+        if self.attach_inner(vol, inst, at)? {
+            self.now += self.config.attach_overhead_s;
+        }
         Ok(())
     }
 
@@ -352,26 +422,7 @@ impl Cloud {
         inst: InstanceId,
         at: f64,
     ) -> Result<(), CloudError> {
-        let instance = self.instance(inst)?;
-        if instance.state_at(at) != InstanceState::Running {
-            return Err(CloudError::NotRunning(inst));
-        }
-        let zone = instance.zone;
-        let v = self
-            .volumes
-            .get_mut(vol.0 as usize)
-            .ok_or(CloudError::NoSuchVolume(vol))?;
-        if let Some(holder) = v.attached_to {
-            if holder != inst {
-                return Err(CloudError::VolumeBusy(vol, holder));
-            }
-            return Ok(());
-        }
-        if v.zone != zone {
-            return Err(CloudError::ZoneMismatch);
-        }
-        v.attached_to = Some(inst);
-        Ok(())
+        self.attach_inner(vol, inst, at).map(|_| ())
     }
 
     /// Detach a volume from whatever holds it, without advancing the
@@ -439,10 +490,21 @@ impl Cloud {
             .max(self.busy.get(&inst).copied().unwrap_or(instance.running_at));
         let bytes: u64 = files.iter().map(|f| f.size).sum();
         let jitter = instance.quality.jitter_rel;
+        if let Some((t_crash, preempt)) = self.faults.crash_schedule(inst.0) {
+            if start >= t_crash {
+                return Err(self.apply_crash(inst, t_crash, preempt));
+            }
+        }
         let env = self.exec_env(inst, &data, bytes)?;
         let true_secs = model.runtime_secs(files, &env);
-        let observed = self.config.noise.observe(&mut self.rng, true_secs, jitter);
+        let observed = self.config.noise.observe(&mut self.rng, true_secs, jitter)
+            * self.faults.slowdown_factor(inst.0, start);
         let end = start + observed;
+        if let Some((t_crash, preempt)) = self.faults.crash_schedule(inst.0) {
+            if end > t_crash {
+                return Err(self.apply_crash(inst, t_crash, preempt));
+            }
+        }
         self.busy.insert(inst, end);
         Ok(RunReport {
             instance: inst,
@@ -528,10 +590,22 @@ impl Cloud {
         }
         let bytes: u64 = files.iter().map(|f| f.size).sum();
         let jitter = instance.quality.jitter_rel;
+        if let Some((t_crash, preempt)) = self.faults.crash_schedule(inst.0) {
+            if self.now >= t_crash {
+                return Err(self.apply_crash(inst, t_crash, preempt));
+            }
+        }
         let env = self.exec_env(inst, &data, bytes)?;
         let true_secs = model.runtime_secs(files, &env);
-        let observed = self.config.noise.observe(&mut self.rng, true_secs, jitter);
+        let observed = self.config.noise.observe(&mut self.rng, true_secs, jitter)
+            * self.faults.slowdown_factor(inst.0, self.now);
         let started_at = self.now;
+        if let Some((t_crash, preempt)) = self.faults.crash_schedule(inst.0) {
+            if started_at + observed > t_crash {
+                self.now = t_crash;
+                return Err(self.apply_crash(inst, t_crash, preempt));
+            }
+        }
         self.now += observed;
         let snapshot = self.instances[inst.0 as usize].clone();
         self.ledger.record(&snapshot, self.now);
@@ -544,6 +618,24 @@ impl Cloud {
             bytes,
             files: files.len(),
         })
+    }
+
+    /// Store an object, subject to injected transient S3 failures (the
+    /// fault-free path is identical to `cloud.s3.put`). A failed put
+    /// consumes the scheduled event, so an immediate retry succeeds.
+    pub fn s3_put(&mut self, key: &str, size: u64) -> Result<(), CloudError> {
+        if self.faults.take_s3(false, self.now) {
+            return Err(CloudError::S3Transient(key.to_string()));
+        }
+        self.s3.put(key, size)
+    }
+
+    /// Fetch an object's size, subject to injected transient S3 failures.
+    pub fn s3_get(&mut self, key: &str) -> Result<u64, CloudError> {
+        if self.faults.take_s3(true, self.now) {
+            return Err(CloudError::S3Transient(key.to_string()));
+        }
+        self.s3.get(key)
     }
 
     /// The account ledger.

@@ -34,6 +34,16 @@ pub enum CloudError {
     /// instances per account; the paper notes "limitations on the number
     /// of instances that can be requested", §5.2).
     InstanceCapReached(usize),
+    /// An injected fault killed the instance (hardware loss). The crash
+    /// time is available via `Cloud::crash_time`.
+    InstanceCrashed(InstanceId),
+    /// An injected fault reclaimed the instance (spot preemption); billing
+    /// still follows the flat per-started-hour rule.
+    SpotPreempted(InstanceId),
+    /// An injected transient attach failure; retrying the attach succeeds.
+    AttachFailed(VolumeId),
+    /// An injected transient S3 error on the named key; a retry succeeds.
+    S3Transient(String),
 }
 
 impl std::fmt::Display for CloudError {
@@ -55,6 +65,12 @@ impl std::fmt::Display for CloudError {
             CloudError::InstanceCapReached(n) => {
                 write!(f, "account instance cap of {n} reached")
             }
+            CloudError::InstanceCrashed(id) => write!(f, "instance {id:?} crashed"),
+            CloudError::SpotPreempted(id) => write!(f, "instance {id:?} was preempted"),
+            CloudError::AttachFailed(v) => {
+                write!(f, "transient attach failure on volume {v:?}")
+            }
+            CloudError::S3Transient(k) => write!(f, "transient S3 error on {k}"),
         }
     }
 }

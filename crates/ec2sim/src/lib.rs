@@ -36,6 +36,7 @@ mod billing;
 mod bonnie;
 mod cloud;
 mod error;
+mod faults;
 mod instance;
 mod noise;
 mod retrieval;
@@ -51,6 +52,7 @@ pub use bonnie::{
 };
 pub use cloud::{Cloud, CloudConfig, DataLocation, RunReport};
 pub use error::CloudError;
+pub use faults::{FaultConfig, FaultEvent, FaultKind, FaultPlan};
 pub use instance::{Instance, InstanceId, InstanceQuality, InstanceState};
 pub use noise::NoiseModel;
 pub use retrieval::RetrievalModel;

@@ -74,6 +74,9 @@ pub struct SpotOutcome {
     pub interruptions: usize,
     /// Seconds of useful work done.
     pub work_done: f64,
+    /// Seconds the instance was active (billable), including resume
+    /// penalties — the quantity the flat `r·⌈hours⌉` rule bounds.
+    pub active_secs: f64,
 }
 
 impl SpotMarket {
@@ -85,6 +88,7 @@ impl SpotMarket {
         let mut cost = 0.0;
         let mut interruptions = 0usize;
         let mut active_prev = false;
+        let mut total_active = 0.0;
         for (i, &price) in self.prices.iter().enumerate() {
             let t0 = i as f64 * self.step_secs;
             let eligible = price <= req.bid;
@@ -105,6 +109,7 @@ impl SpotMarket {
             let used = budget.min(work_left);
             let active_secs = used + (self.step_secs - budget);
             cost += price * active_secs / 3600.0;
+            total_active += active_secs;
             work_left -= used;
             if work_left <= 1e-9 {
                 return SpotOutcome {
@@ -112,6 +117,7 @@ impl SpotMarket {
                     cost,
                     interruptions,
                     work_done: req.work_secs,
+                    active_secs: total_active,
                 };
             }
         }
@@ -120,6 +126,7 @@ impl SpotMarket {
             cost,
             interruptions,
             work_done: req.work_secs - work_left,
+            active_secs: total_active,
         }
     }
 }

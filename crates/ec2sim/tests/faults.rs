@@ -1,0 +1,301 @@
+//! Integration tests for the fault-injection engine: determinism of the
+//! schedule, crash/preemption mechanics (including the paper's flat
+//! per-started-hour billing rule, §1.1), transient-error consumption and
+//! straggler slowdowns.
+
+use corpus::FileSpec;
+use ec2sim::{
+    Cloud, CloudConfig, CloudError, DataLocation, FaultConfig, FaultEvent, FaultKind, FaultPlan,
+    InstanceType,
+};
+use textapps::GrepCostModel;
+
+fn zone() -> ec2sim::AvailabilityZone {
+    ec2sim::AvailabilityZone::us_east_1a()
+}
+
+fn crash_event(ordinal: u64, at: f64, preempt: bool) -> FaultEvent {
+    FaultEvent {
+        at,
+        instance: Some(ordinal),
+        volume: None,
+        kind: if preempt {
+            FaultKind::SpotPreemption
+        } else {
+            FaultKind::InstanceCrash
+        },
+    }
+}
+
+/// One long job: 500 GB at local-staging throughput ≈ 6000 s.
+fn long_files() -> Vec<FileSpec> {
+    vec![FileSpec::new(0, 500_000_000_000)]
+}
+
+#[test]
+fn same_seed_identical_schedule_and_fault_log() {
+    let cfg = FaultConfig {
+        crash_prob: 0.5,
+        preemption_prob: 0.3,
+        slowdown_prob: 0.8,
+        boot_delay_prob: 0.8,
+        attach_failure_prob: 0.5,
+        ..FaultConfig::default()
+    };
+    let plan_a = FaultPlan::generate(42, &cfg);
+    let plan_b = FaultPlan::generate(42, &cfg);
+    assert_eq!(plan_a, plan_b);
+    assert!(!plan_a.is_empty());
+
+    let run = |plan: &FaultPlan| {
+        let mut cloud = Cloud::with_faults(CloudConfig::ideal(9), plan);
+        let mut outcomes = Vec::new();
+        for _ in 0..6 {
+            let id = match cloud.launch(InstanceType::Small, zone()) {
+                Ok(id) => id,
+                Err(_) => break,
+            };
+            let r = cloud.submit_job(
+                id,
+                &GrepCostModel::default(),
+                &[FileSpec::new(7, 40_000_000_000)],
+                DataLocation::Local,
+                0.0,
+            );
+            outcomes.push(format!("{r:?}"));
+        }
+        (outcomes, cloud.fault_log().to_vec())
+    };
+    assert_eq!(run(&plan_a), run(&plan_b));
+}
+
+#[test]
+fn crash_kills_job_mid_run_and_detaches_volumes() {
+    let plan = FaultPlan::scripted(vec![crash_event(0, 1_000.0, false)]);
+    let mut cloud = Cloud::with_faults(CloudConfig::ideal(1), &plan);
+    let inst = cloud.launch(InstanceType::Small, zone()).unwrap();
+    cloud.wait_until_running(inst).unwrap();
+    let vol = cloud.create_volume(zone(), 1_000_000_000);
+    cloud.attach_volume(vol, inst).unwrap();
+    let err = cloud
+        .submit_job(
+            inst,
+            &GrepCostModel::default(),
+            &long_files(),
+            DataLocation::Local,
+            0.0,
+        )
+        .unwrap_err();
+    assert_eq!(err, CloudError::InstanceCrashed(inst));
+    assert!(err.is_instance_loss() && !err.is_transient());
+    // The cloud already terminated it; the volume is free again.
+    assert!(matches!(
+        cloud.terminate(inst),
+        Err(CloudError::Terminated(_))
+    ));
+    let other = cloud.launch(InstanceType::Small, zone()).unwrap();
+    cloud.wait_until_running(other).unwrap();
+    cloud.attach_volume(vol, other).unwrap();
+    // The crash is in the fault log with its effective time.
+    assert!(cloud
+        .fault_log()
+        .iter()
+        .any(|ev| ev.kind == FaultKind::InstanceCrash && ev.at == 1_000.0));
+}
+
+#[test]
+fn preemption_bills_the_flat_started_hour_never_prorated() {
+    // Preempted half-way through its first hour: the flat r·⌈hours⌉ rule
+    // bills one full hour, not 30 minutes.
+    let plan = FaultPlan::scripted(vec![crash_event(0, 1_800.0, true)]);
+    let mut cloud = Cloud::with_faults(CloudConfig::ideal(2), &plan);
+    let inst = cloud.launch(InstanceType::Small, zone()).unwrap();
+    cloud.wait_until_running(inst).unwrap();
+    let err = cloud
+        .submit_job(
+            inst,
+            &GrepCostModel::default(),
+            &long_files(),
+            DataLocation::Local,
+            0.0,
+        )
+        .unwrap_err();
+    assert_eq!(err, CloudError::SpotPreempted(inst));
+    assert_eq!(cloud.ledger().total_instance_hours(), 1);
+    let cost = cloud.ledger().total_cost();
+    assert!((cost - 0.085).abs() < 1e-12, "cost {cost}");
+}
+
+#[test]
+fn preemption_into_second_hour_bills_two_flat_hours() {
+    let plan = FaultPlan::scripted(vec![crash_event(0, 3_700.0, true)]);
+    let mut cloud = Cloud::with_faults(CloudConfig::ideal(3), &plan);
+    let inst = cloud.launch(InstanceType::Small, zone()).unwrap();
+    cloud.wait_until_running(inst).unwrap();
+    let err = cloud
+        .submit_job(
+            inst,
+            &GrepCostModel::default(),
+            &long_files(),
+            DataLocation::Local,
+            0.0,
+        )
+        .unwrap_err();
+    assert_eq!(err, CloudError::SpotPreempted(inst));
+    assert_eq!(cloud.ledger().total_instance_hours(), 2);
+}
+
+#[test]
+fn boot_delay_extends_running_at() {
+    let plan = FaultPlan::scripted(vec![FaultEvent {
+        at: 0.0,
+        instance: Some(0),
+        volume: None,
+        kind: FaultKind::BootDelay { extra_secs: 120.0 },
+    }]);
+    let config = CloudConfig {
+        seed: 4,
+        ..CloudConfig::default()
+    };
+    let plain_boot = {
+        let mut cloud = Cloud::new(config);
+        let inst = cloud.launch(InstanceType::Small, zone()).unwrap();
+        cloud.running_at(inst).unwrap()
+    };
+    let delayed_boot = {
+        let mut cloud = Cloud::with_faults(config, &plan);
+        let inst = cloud.launch(InstanceType::Small, zone()).unwrap();
+        cloud.running_at(inst).unwrap()
+    };
+    // Same seed, same jitter draw — the difference is exactly the delay.
+    assert!((delayed_boot - plain_boot - 120.0).abs() < 1e-9);
+}
+
+#[test]
+fn attach_failure_is_transient_and_consumed_once() {
+    let plan = FaultPlan::scripted(vec![FaultEvent {
+        at: 0.0,
+        instance: None,
+        volume: Some(0),
+        kind: FaultKind::EbsAttachFailure,
+    }]);
+    let mut cloud = Cloud::with_faults(CloudConfig::ideal(5), &plan);
+    let inst = cloud.launch(InstanceType::Small, zone()).unwrap();
+    cloud.wait_until_running(inst).unwrap();
+    let vol = cloud.create_volume(zone(), 1_000_000_000);
+    let err = cloud.attach_volume(vol, inst).unwrap_err();
+    assert_eq!(err, CloudError::AttachFailed(vol));
+    assert!(err.is_transient());
+    // The retry succeeds: the event was consumed.
+    cloud.attach_volume(vol, inst).unwrap();
+}
+
+#[test]
+fn s3_transient_errors_consumed_once_each_way() {
+    let plan = FaultPlan::scripted(vec![
+        FaultEvent {
+            at: 0.0,
+            instance: None,
+            volume: None,
+            kind: FaultKind::S3TransientPut,
+        },
+        FaultEvent {
+            at: 0.0,
+            instance: None,
+            volume: None,
+            kind: FaultKind::S3TransientGet,
+        },
+    ]);
+    let mut cloud = Cloud::with_faults(CloudConfig::ideal(6), &plan);
+    let err = cloud.s3_put("corpus/shard-0", 1_000).unwrap_err();
+    assert!(matches!(err, CloudError::S3Transient(_)) && err.is_transient());
+    cloud.s3_put("corpus/shard-0", 1_000).unwrap();
+    let err = cloud.s3_get("corpus/shard-0").unwrap_err();
+    assert!(matches!(err, CloudError::S3Transient(_)));
+    assert_eq!(cloud.s3_get("corpus/shard-0").unwrap(), 1_000);
+    assert_eq!(cloud.fault_log().len(), 2);
+}
+
+#[test]
+fn slowdown_stretches_observed_runtime_exactly() {
+    let config = CloudConfig {
+        seed: 7,
+        ..CloudConfig::default()
+    };
+    let files = vec![FileSpec::new(0, 10_000_000_000)];
+    let run = |plan: &FaultPlan| {
+        let mut cloud = Cloud::with_faults(config, plan);
+        let inst = cloud.launch(InstanceType::Small, zone()).unwrap();
+        cloud
+            .submit_job(
+                inst,
+                &GrepCostModel::default(),
+                &files,
+                DataLocation::Local,
+                0.0,
+            )
+            .unwrap()
+            .observed_secs
+    };
+    let plain = run(&FaultPlan::none());
+    let slowed = run(&FaultPlan::scripted(vec![FaultEvent {
+        at: 0.0,
+        instance: Some(0),
+        volume: None,
+        kind: FaultKind::IoSlowdown { factor: 2.0 },
+    }]));
+    // Injection consumes no randomness, so the straggler factor is the
+    // only difference between the two runs.
+    assert!((slowed - 2.0 * plain).abs() < 1e-9, "{slowed} vs {plain}");
+}
+
+#[test]
+fn empty_plan_matches_plain_cloud_bit_for_bit() {
+    let config = CloudConfig {
+        seed: 8,
+        ..CloudConfig::default()
+    };
+    let files: Vec<FileSpec> = (0..40).map(|i| FileSpec::new(i, 250_000_000)).collect();
+    let drive = |mut cloud: Cloud| {
+        let inst = cloud.launch(InstanceType::Small, zone()).unwrap();
+        cloud.wait_until_running(inst).unwrap();
+        let vol = cloud.create_volume(zone(), 20_000_000_000);
+        cloud.attach_volume(vol, inst).unwrap();
+        let r = cloud
+            .run_app(
+                inst,
+                &GrepCostModel::default(),
+                &files,
+                DataLocation::Ebs {
+                    volume: vol,
+                    offset: 0,
+                },
+            )
+            .unwrap();
+        cloud.terminate(inst).unwrap();
+        (r, cloud.settle())
+    };
+    let plain = drive(Cloud::new(config));
+    let faulty = drive(Cloud::with_faults(config, &FaultPlan::none()));
+    assert_eq!(plain, faulty);
+}
+
+#[test]
+fn crash_before_boot_kills_instance_for_free() {
+    let plan = FaultPlan::scripted(vec![crash_event(0, 10.0, false)]);
+    let mut cloud = Cloud::with_faults(CloudConfig::default(), &plan);
+    let inst = cloud.launch(InstanceType::Small, zone()).unwrap();
+    // Boot takes ~3 minutes; the crash at t=10 precedes it.
+    let err = cloud
+        .submit_job(
+            inst,
+            &GrepCostModel::default(),
+            &long_files(),
+            DataLocation::Local,
+            0.0,
+        )
+        .unwrap_err();
+    assert!(err.is_instance_loss());
+    // Never reached Running, so the flat-rate rule bills nothing.
+    assert_eq!(cloud.ledger().total_instance_hours(), 0);
+}

@@ -109,6 +109,38 @@ proptest! {
     }
 
     #[test]
+    fn preempted_bid_never_bills_beyond_the_flat_hour_rule(
+        seed in 0u64..200,
+        bid_frac in 1u64..30,
+        work_hours in 1u64..20,
+        penalty in 0u64..240,
+    ) {
+        // A marginal bid near the market mean gets preempted repeatedly;
+        // whatever happens, the dollars charged never exceed the paper's
+        // flat r·⌈hours⌉ rule applied to the bid and the active seconds —
+        // a preemption can never bill a partial hour beyond it.
+        let market = SpotMarket::generate(seed, 300, 0.04, 0.006, 300.0);
+        let req = SpotRequest {
+            bid: 0.04 * bid_frac as f64 / 20.0,
+            work_secs: work_hours as f64 * 3600.0,
+            resume_penalty_secs: penalty as f64,
+        };
+        let out = market.execute(&req);
+        prop_assert!(out.active_secs >= out.work_done - 1e-6);
+        prop_assert!(
+            out.cost <= req.bid * billed_hours(out.active_secs) as f64 + 1e-9,
+            "cost {} exceeds flat rule {} × {}",
+            out.cost,
+            req.bid,
+            billed_hours(out.active_secs)
+        );
+        // An execution that never became active is free.
+        if out.active_secs <= 0.0 {
+            prop_assert!(out.cost <= 0.0);
+        }
+    }
+
+    #[test]
     fn submit_job_timelines_never_overlap_per_instance(
         n_jobs in 1usize..8,
         size_mb in 1u64..100,

@@ -77,8 +77,10 @@ const DETERMINISM_SENSITIVE: &[&str] = &[
     "ec2sim",
 ];
 
-/// Crates where wall-clock reads would poison model fits and plans.
-const CLOCK_FREE: &[&str] = &["binpack", "perfmodel", "provision"];
+/// Crates where wall-clock reads would poison model fits and plans —
+/// including the simulator, whose clock is simulated seconds and whose
+/// fault schedules must replay bit-for-bit.
+const CLOCK_FREE: &[&str] = &["binpack", "ec2sim", "perfmodel", "provision"];
 
 /// Crates doing byte accounting where a narrowing cast silently corrupts.
 const BYTE_ACCOUNTING: &[&str] = &["binpack", "corpus"];

@@ -1,0 +1,6 @@
+//! Fixture: wall-clock reads in the simulator fire RL005 — fault
+//! schedules and billing run on simulated seconds only.
+
+pub fn fault_stamp() -> std::time::Instant {
+    std::time::Instant::now()
+}

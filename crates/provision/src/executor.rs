@@ -5,7 +5,10 @@
 
 use crate::plan::Plan;
 use crate::pricing::{instance_hours, PricingModel};
-use ec2sim::{screen_at, Cloud, CloudError, DataLocation, InstanceId, ScreeningPolicy};
+use corpus::FileSpec;
+use ec2sim::{screen_at, Cloud, CloudError, DataLocation, InstanceId, RunReport, ScreeningPolicy};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use textapps::AppCostModel;
 
@@ -170,6 +173,287 @@ pub fn execute_plan(
         instance_hours: hours,
         cost: hours as f64 * cfg.pricing.hourly_rate,
         runs,
+    })
+}
+
+/// How the resilient executor reacts to injected faults. All delays are
+/// **simulated** seconds folded into instance timelines — this crate is
+/// clock-free (RL005), so backoff never reads the wall clock.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Attempts per operation for transient errors (first try included).
+    pub max_attempts: u32,
+    /// Backoff before the first retry, simulated seconds.
+    pub base_backoff_secs: f64,
+    /// Multiplier between consecutive backoffs.
+    pub backoff_factor: f64,
+    /// Cap on a single backoff, simulated seconds.
+    pub max_backoff_secs: f64,
+    /// Uniform jitter applied to each backoff, as a ± fraction.
+    pub jitter_frac: f64,
+    /// Replacement instances allowed per share after instance loss.
+    pub max_replacements: u32,
+    /// Seed of the jitter RNG (independent of the cloud seed, so the same
+    /// policy replays identically on any cloud).
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff_secs: 2.0,
+            backoff_factor: 2.0,
+            max_backoff_secs: 60.0,
+            jitter_frac: 0.1,
+            max_replacements: 3,
+            seed: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff before retry number `attempt` (1-based): bounded
+    /// exponential with uniform jitter, in simulated seconds.
+    pub fn backoff_secs(&self, attempt: u32, rng: &mut StdRng) -> f64 {
+        let exp = attempt.saturating_sub(1).min(24);
+        let capped = (self.base_backoff_secs * self.backoff_factor.powi(exp as i32))
+            .min(self.max_backoff_secs);
+        let jitter = 1.0 + self.jitter_frac * (rng.random::<f64>() * 2.0 - 1.0);
+        (capped * jitter).max(0.0)
+    }
+}
+
+/// Outcome of a resilient execution: injected faults vs. recovered work
+/// vs. deadline outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DegradedReport {
+    /// Fleet summary over completed shares; `misses` also counts
+    /// unrecovered shares.
+    pub execution: ExecutionReport,
+    /// Plan indices of shares whose data was never processed (retries or
+    /// replacements exhausted).
+    pub failed_shares: Vec<usize>,
+    /// Files actually processed per share, in plan order (empty for a
+    /// failed share) — lets callers audit byte conservation with
+    /// `binpack::check`.
+    pub share_files: Vec<Vec<FileSpec>>,
+    /// Instance crashes suffered.
+    pub crashes: usize,
+    /// Spot preemptions suffered.
+    pub preemptions: usize,
+    /// Transient errors absorbed by in-place backoff retries.
+    pub transient_retries: usize,
+    /// Replacement instances launched after instance loss.
+    pub replacements: usize,
+    /// Shares requeued onto a replacement at least once.
+    pub requeued_shares: usize,
+    /// Bytes completed on a replacement after an instance loss.
+    pub recovered_bytes: u64,
+    /// Bytes never processed (failed shares).
+    pub lost_bytes: u64,
+    /// Fault events that actually fired in the cloud.
+    pub faults_fired: usize,
+}
+
+impl DegradedReport {
+    /// Shares in the plan (completed + failed).
+    pub fn total_shares(&self) -> usize {
+        self.execution.runs.len() + self.failed_shares.len()
+    }
+
+    /// Fraction of shares that missed the deadline (failed shares count
+    /// as misses).
+    pub fn miss_rate(&self) -> f64 {
+        if self.total_shares() == 0 {
+            return 0.0;
+        }
+        self.execution.misses as f64 / self.total_shares() as f64
+    }
+}
+
+/// Acquisition wrapper for faulty clouds: an instance lost while booting
+/// or during its bonnie screen is simply replaced (bounded, so a plan
+/// that crashes every ordinal still terminates).
+fn acquire_fleet_instance_resilient(
+    cloud: &mut Cloud,
+    cfg: &ExecutionConfig,
+) -> Result<(InstanceId, f64), CloudError> {
+    let mut outcome = acquire_fleet_instance(cloud, cfg);
+    for _ in 0..16 {
+        match outcome {
+            Ok(ok) => return Ok(ok),
+            Err(ref e) if e.is_instance_loss() => {}
+            Err(e) => return Err(e),
+        }
+        outcome = acquire_fleet_instance(cloud, cfg);
+    }
+    outcome
+}
+
+/// How one attempt at a share ended.
+enum AttemptEnd {
+    /// The share completed; the run report is final.
+    Done(RunReport),
+    /// Retries or replacements exhausted; the share's bytes are lost.
+    GaveUp,
+}
+
+/// Execute a plan on a possibly faulty cloud: transient errors back off
+/// and retry in place, lost instances are replaced and their whole bin
+/// requeued on the replacement, and everything is accounted in a
+/// [`DegradedReport`]. On a fault-free cloud the embedded
+/// [`ExecutionReport`] is bit-for-bit identical to [`execute_plan`]'s.
+///
+/// Recovery time counts against the deadline: a share's `job_secs` runs
+/// from the moment its *first* instance was ready to the final finish.
+pub fn execute_plan_resilient(
+    cloud: &mut Cloud,
+    plan: &Plan,
+    model: &dyn AppCostModel,
+    cfg: &ExecutionConfig,
+    retry: &RetryPolicy,
+) -> Result<DegradedReport, CloudError> {
+    let mut rng = StdRng::seed_from_u64(retry.seed ^ 0xBACC_0FF5);
+    let attach = cloud.config().attach_overhead_s;
+    let mut runs = Vec::with_capacity(plan.instance_count());
+    let mut share_files: Vec<Vec<FileSpec>> = Vec::with_capacity(plan.instance_count());
+    let mut failed_shares = Vec::new();
+    let (mut crashes, mut preemptions, mut transient_retries) = (0usize, 0usize, 0usize);
+    let (mut replacements, mut requeued_shares) = (0usize, 0usize);
+    let (mut recovered_bytes, mut lost_bytes) = (0u64, 0u64);
+    let mut hours = 0u64;
+
+    for (idx, share) in plan.instances.iter().enumerate() {
+        let (mut inst, mut ready) = acquire_fleet_instance_resilient(cloud, cfg)?;
+        let first_ready = ready;
+        // A persistent EBS volume survives instance loss and re-attaches
+        // to the replacement; local staging re-stages from scratch.
+        let vol = match cfg.staging {
+            StagingTier::Ebs => Some(cloud.create_volume(cfg.zone, share.volume.max(1))),
+            StagingTier::Local => None,
+        };
+        let mut share_replacements = 0u32;
+        let end = loop {
+            // One attempt on `inst`, working no earlier than `ready`.
+            let mut t = ready;
+            let mut lost: Option<CloudError> = None;
+            let mut gave_up = false;
+            let data = if let Some(v) = vol {
+                let mut attempt = 0u32;
+                loop {
+                    match cloud.attach_volume_at(v, inst, t) {
+                        Ok(()) => {
+                            t += attach;
+                            break;
+                        }
+                        Err(e) if e.is_instance_loss() => {
+                            lost = Some(e);
+                            break;
+                        }
+                        Err(e) if e.is_transient() => {
+                            attempt += 1;
+                            if attempt >= retry.max_attempts {
+                                gave_up = true;
+                                break;
+                            }
+                            transient_retries += 1;
+                            t += retry.backoff_secs(attempt, &mut rng);
+                        }
+                        Err(e) => return Err(e),
+                    }
+                }
+                DataLocation::Ebs {
+                    volume: v,
+                    offset: 0,
+                }
+            } else {
+                t += cfg.stage_in_secs;
+                DataLocation::Local
+            };
+            if gave_up {
+                // The instance is alive but the share is stuck; release it.
+                cloud.terminate_at(inst, t)?;
+                hours += instance_hours((t - ready).max(0.0));
+                break AttemptEnd::GaveUp;
+            }
+            if lost.is_none() {
+                match cloud.submit_job(inst, model, &share.files, data, t) {
+                    Ok(report) => {
+                        cloud.terminate_at(inst, report.finished_at)?;
+                        hours += instance_hours((report.finished_at - ready).max(0.0));
+                        break AttemptEnd::Done(report);
+                    }
+                    Err(e) if e.is_instance_loss() => lost = Some(e),
+                    Err(e) => return Err(e),
+                }
+            }
+            // Instance loss: the cloud already terminated the instance and
+            // detached its volumes. Bill the partial attempt and requeue
+            // the whole bin on a replacement.
+            if matches!(lost, Some(CloudError::SpotPreempted(_))) {
+                preemptions += 1;
+            } else {
+                crashes += 1;
+            }
+            let t_dead = cloud.crash_time(inst).unwrap_or(t).max(ready);
+            hours += instance_hours((t_dead - ready).max(0.0));
+            if share_replacements >= retry.max_replacements {
+                break AttemptEnd::GaveUp;
+            }
+            share_replacements += 1;
+            replacements += 1;
+            let (new_inst, new_ready) = acquire_fleet_instance_resilient(cloud, cfg)?;
+            inst = new_inst;
+            // The replacement cannot pick the work up before the loss.
+            ready = new_ready.max(t_dead);
+        };
+        match end {
+            AttemptEnd::Done(report) => {
+                let job_secs = report.finished_at - first_ready;
+                runs.push(InstanceRun {
+                    instance: report.instance,
+                    volume: share.volume,
+                    files: share.files.len(),
+                    predicted_secs: share.predicted_secs,
+                    job_secs,
+                    met_deadline: job_secs <= plan.deadline_secs,
+                });
+                share_files.push(share.files.clone());
+                if share_replacements > 0 {
+                    requeued_shares += 1;
+                    recovered_bytes += share.volume;
+                }
+            }
+            AttemptEnd::GaveUp => {
+                failed_shares.push(idx);
+                share_files.push(Vec::new());
+                lost_bytes += share.volume;
+            }
+        }
+    }
+
+    let makespan_secs = runs.iter().map(|r| r.job_secs).fold(0.0, f64::max);
+    let misses = runs.iter().filter(|r| !r.met_deadline).count() + failed_shares.len();
+    Ok(DegradedReport {
+        execution: ExecutionReport {
+            deadline_secs: plan.deadline_secs,
+            makespan_secs,
+            misses,
+            instance_hours: hours,
+            cost: hours as f64 * cfg.pricing.hourly_rate,
+            runs,
+        },
+        failed_shares,
+        share_files,
+        crashes,
+        preemptions,
+        transient_retries,
+        replacements,
+        requeued_shares,
+        recovered_bytes,
+        lost_bytes,
+        faults_fired: cloud.fault_log().len(),
     })
 }
 

@@ -32,7 +32,10 @@ pub mod workflow;
 pub use budget::{cheapest_plan, plan_within_budget, BudgetPlan};
 pub use dynamic::{execute_dynamic, DynamicConfig, DynamicReport};
 pub use error::ProvisionError;
-pub use executor::{execute_plan, ExecutionConfig, ExecutionReport, InstanceRun, StagingTier};
+pub use executor::{
+    execute_plan, execute_plan_resilient, DegradedReport, ExecutionConfig, ExecutionReport,
+    InstanceRun, RetryPolicy, StagingTier,
+};
 pub use montecarlo::{evaluate_plan, PlanDistribution};
 pub use plan::{InstancePlan, Plan};
 pub use pricing::{cost_for_deadline, instance_hours, PricingModel};

@@ -30,4 +30,11 @@ cargo test -q
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
 
+if [[ $fast -eq 0 ]]; then
+  # The chaos harness already ran under `cargo test -q`; the ablation bin
+  # additionally persists the DegradedReport artifact CI uploads.
+  echo "==> chaos ablation (writes results/CHAOS_seed*.json)"
+  SMOKE=1 cargo run --release -q -p bench --bin chaos_ablation
+fi
+
 echo "verify: OK"

@@ -56,7 +56,7 @@ pub use kbins::{naive_uniform_k_bins, pack_into_k_bins, rebalance_uniform};
 pub use pack::{
     first_fit_decreasing, naive_best_fit, naive_first_fit, next_fit, worst_fit, Packing,
 };
-pub use parallel::Parallelism;
+pub use parallel::{shard_ranges, Parallelism};
 pub use stats::PackingStats;
 pub use subset_sum::naive_subset_sum_first_fit;
 

@@ -50,6 +50,29 @@ impl Parallelism {
     }
 }
 
+/// Split `n` items into at most `shards` contiguous `[start, end)` ranges,
+/// as evenly as possible (the first `n % shards` ranges get one extra
+/// item). The split is a pure function of `(n, shards)` — never of the
+/// machine's worker count — so per-shard accounting emitted from parallel
+/// sweeps is identical on every host (the observability layer relies on
+/// this for byte-identical event logs).
+pub fn shard_ranges(n: usize, shards: usize) -> Vec<(usize, usize)> {
+    if n == 0 || shards == 0 {
+        return Vec::new();
+    }
+    let shards = shards.min(n);
+    let base = n / shards;
+    let extra = n % shards;
+    let mut out = Vec::with_capacity(shards);
+    let mut start = 0;
+    for i in 0..shards {
+        let len = base + usize::from(i < extra);
+        out.push((start, start + len));
+        start += len;
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -74,5 +97,37 @@ mod tests {
     fn install_returns_closure_result() {
         let v = Parallelism::Sequential.install(|| 41 + 1);
         assert_eq!(v, 42);
+    }
+
+    #[test]
+    fn shard_ranges_cover_exactly_once() {
+        for n in [0usize, 1, 7, 8, 9, 100, 1023] {
+            for shards in [1usize, 2, 8, 16] {
+                let ranges = shard_ranges(n, shards);
+                let total: usize = ranges.iter().map(|(a, b)| b - a).sum();
+                assert_eq!(total, n, "n={n} shards={shards}");
+                for w in ranges.windows(2) {
+                    assert_eq!(w[0].1, w[1].0, "ranges must be contiguous");
+                }
+                if n > 0 {
+                    assert_eq!(ranges[0].0, 0);
+                    assert_eq!(ranges[ranges.len() - 1].1, n);
+                    assert!(ranges.len() <= shards.min(n));
+                    // Balanced: sizes differ by at most one.
+                    let sizes: Vec<usize> = ranges.iter().map(|(a, b)| b - a).collect();
+                    let min = sizes.iter().min().copied().unwrap_or(0);
+                    let max = sizes.iter().max().copied().unwrap_or(0);
+                    assert!(max - min <= 1, "unbalanced: {sizes:?}");
+                }
+            }
+        }
+        assert!(shard_ranges(5, 0).is_empty());
+    }
+
+    #[test]
+    fn shard_ranges_ignore_machine_parallelism() {
+        // Pure function of (n, shards): pin a few exact splits.
+        assert_eq!(shard_ranges(10, 4), vec![(0, 3), (3, 6), (6, 8), (8, 10)]);
+        assert_eq!(shard_ranges(3, 8), vec![(0, 1), (1, 2), (2, 3)]);
     }
 }

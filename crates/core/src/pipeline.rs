@@ -9,16 +9,22 @@ use ec2sim::{
     acquire_good_instance, Cloud, CloudConfig, CloudError, DataLocation, FaultConfig, FaultPlan,
     InstanceId, ScreeningPolicy,
 };
+use obs::Obs;
 use perfmodel::{
     choose_unit_size, fit, fit_all, fit_weighted, inverse_variance_weights, select_best,
     select_by_cross_validation, volume_weights, Fit, ModelKind, ProbeCampaign, ProbeSetResult,
     UnitSize,
 };
 use provision::{
-    execute_plan, execute_plan_resilient, make_plan, DegradedReport, ExecutionConfig,
-    ExecutionReport, RetryPolicy, StagingTier, Strategy,
+    execute_plan_observed, execute_plan_resilient_observed, make_plan, DegradedReport,
+    ExecutionConfig, ExecutionReport, RetryPolicy, StagingTier, Strategy,
 };
 use serde::{Deserialize, Serialize};
+
+/// Fixed shard count for per-shard reshape accounting. A constant (rather
+/// than the machine's worker count) keeps the event log byte-identical on
+/// every host; see [`binpack::shard_ranges`].
+const RESHAPE_SHARDS: usize = 8;
 
 /// Random-sample refit parameters (§5.1: 10×2 GB for grep; §5.2: 3×5 MB
 /// for POS).
@@ -92,6 +98,11 @@ pub struct PipelineConfig {
     /// How execution reacts to injected faults (backoff, retries,
     /// replacements). Only consulted when `faults` is set.
     pub retry: RetryPolicy,
+    /// Observability sink. Defaults to the no-op sink; pass
+    /// [`Obs::recording`] to collect per-phase spans, counters and an
+    /// NDJSON event log keyed on the simulation clock. The sink never
+    /// participates in config equality or serialization.
+    pub obs: Obs,
 }
 
 impl Default for PipelineConfig {
@@ -111,6 +122,7 @@ impl Default for PipelineConfig {
             validate: cfg!(debug_assertions),
             faults: None,
             retry: RetryPolicy::default(),
+            obs: Obs::default(),
         }
     }
 }
@@ -211,15 +223,20 @@ impl Pipeline {
             ),
             None => Cloud::new(self.config.cloud),
         };
+        cloud.set_obs(self.config.obs.clone());
+        let obs = &self.config.obs;
         let zone = ec2sim::AvailabilityZone::us_east_1a();
 
         // 1. Screened probe instance (§4).
+        let span = obs.span_start("pipeline.screen", cloud.now());
         let (probe_inst, attempts) = acquire_good_instance(
             &mut cloud,
             ec2sim::InstanceType::Small,
             zone,
             &self.config.screening,
         )?;
+        obs.span_end(span, cloud.now());
+        obs.count("screen.attempts", attempts as u64);
 
         // 2. Probe campaign.
         let probe_volume = self
@@ -231,6 +248,7 @@ impl Pipeline {
         let probe_data = self.probe_location(&mut cloud, probe_inst, probe_volume)?;
         let model = workload.app.cost_model();
         let mut measure_err: Option<CloudError> = None;
+        let span = obs.span_start("pipeline.probe", cloud.now());
         let probe_sets = {
             let cloud_ref = &mut cloud;
             let err_ref = &mut measure_err;
@@ -249,16 +267,38 @@ impl Pipeline {
         if let Some(e) = measure_err {
             return Err(e.into());
         }
+        obs.span_end(span, cloud.now());
+        obs.count("probe.sets", probe_sets.len() as u64);
         let unit = choose_unit_size(&probe_sets, self.config.probe.stability_cv)
             .ok_or(PipelineError::NoProbes)?;
 
-        // 3. Reshape the corpus to the chosen unit.
+        // 3. Reshape the corpus to the chosen unit. Reshaping is host-side
+        // planning work, so the span opens and closes at the same simulated
+        // instant; shard events carry the per-range accounting instead.
+        let span = obs.span_start("pipeline.reshape", cloud.now());
         let reshape = reshape_manifest_par(&workload.manifest, unit, self.config.parallelism);
         if self.config.validate {
             validate_reshape(&workload.manifest, &reshape)?;
         }
+        obs.span_end(span, cloud.now());
+        obs.count("reshape.files_in", workload.manifest.len() as u64);
+        obs.count("reshape.files_out", reshape.files.len() as u64);
+        obs.gauge("reshape.merge_ratio", reshape.merge_ratio());
+        if obs.is_recording() {
+            // Shard accounting is a pure function of the reshaped file
+            // list, never of the machine's worker count, so the event log
+            // stays byte-identical across hosts and parallelism settings.
+            for (i, (lo, hi)) in binpack::shard_ranges(reshape.files.len(), RESHAPE_SHARDS)
+                .into_iter()
+                .enumerate()
+            {
+                let bytes: u64 = reshape.files[lo..hi].iter().map(|f| f.size).sum();
+                obs.shard("reshape", i as u64, (hi - lo) as u64, bytes);
+            }
+        }
 
         // 4. Fit runtime = f(volume) from the chosen unit's measurements.
+        let span = obs.span_start("pipeline.fit", cloud.now());
         let (xs, ys) = observations_at_unit(&probe_sets, unit);
         if xs.len() < 2 || !has_two_distinct(&xs) {
             return Err(PipelineError::NotEnoughData);
@@ -301,10 +341,14 @@ impl Pipeline {
             (base_fit, None)
         };
         cloud.terminate(probe_inst)?;
+        obs.span_end(span, cloud.now());
+        obs.count("fit.observations", xs.len() as u64);
+        obs.gauge("fit.r2", final_fit.r2);
 
         // 6. Plan. Provisioning reports infeasible deadlines as typed
         // errors (ProvisionError), which the pipeline surfaces as
         // InfeasibleDeadline.
+        let span = obs.span_start("pipeline.plan", cloud.now());
         let plan = make_plan(
             self.config.strategy,
             &reshape.files,
@@ -317,6 +361,9 @@ impl Pipeline {
         if self.config.validate {
             validate_plan(&reshape.files, &plan)?;
         }
+        obs.span_end(span, cloud.now());
+        obs.count("plan.instances", plan.instance_count() as u64);
+        obs.gauge("plan.predicted_makespan_secs", plan.predicted_makespan());
 
         // 7. Execute on a fresh fleet.
         let exec_cfg = ExecutionConfig {
@@ -324,12 +371,24 @@ impl Pipeline {
             screen: self.config.screen_fleet,
             ..ExecutionConfig::default()
         };
+        // The executor emits the `pipeline.execute` span itself: the fleet
+        // runs on per-instance event timelines, and only the executor knows
+        // the last simulated finish time.
         let (execution, degraded) = if self.config.faults.is_some() {
-            let report =
-                execute_plan_resilient(&mut cloud, &plan, model, &exec_cfg, &self.config.retry)?;
+            let report = execute_plan_resilient_observed(
+                &mut cloud,
+                &plan,
+                model,
+                &exec_cfg,
+                &self.config.retry,
+                obs,
+            )?;
             (report.execution.clone(), Some(report))
         } else {
-            (execute_plan(&mut cloud, &plan, model, &exec_cfg)?, None)
+            (
+                execute_plan_observed(&mut cloud, &plan, model, &exec_cfg, obs)?,
+                None,
+            )
         };
 
         Ok(PipelineReport {

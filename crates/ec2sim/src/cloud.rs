@@ -135,6 +135,11 @@ pub struct Cloud {
     rng: StdRng,
     busy: std::collections::BTreeMap<InstanceId, f64>,
     faults: FaultState,
+    /// Observability sink (no-op by default). Fired fault events are
+    /// forwarded to it as they take effect.
+    obs: obs::Obs,
+    /// How many entries of `faults.fired()` have been forwarded to `obs`.
+    faults_emitted: usize,
 }
 
 impl Cloud {
@@ -150,6 +155,26 @@ impl Cloud {
             ledger: BillingLedger::new(),
             busy: std::collections::BTreeMap::new(),
             faults: FaultState::default(),
+            obs: obs::Obs::default(),
+            faults_emitted: 0,
+        }
+    }
+
+    /// Attach an observability sink. Fault events that fire from here on
+    /// are forwarded to it; recording changes nothing about the simulation
+    /// itself (the sink only ever reads the simulated clock).
+    pub fn set_obs(&mut self, obs: obs::Obs) {
+        self.obs = obs;
+    }
+
+    /// Forward any newly fired fault events to the observability sink, in
+    /// the order they took effect.
+    fn flush_fault_events(&mut self) {
+        let fired = self.faults.fired();
+        while self.faults_emitted < fired.len() {
+            let e = fired[self.faults_emitted];
+            self.obs.fault(e.kind.label(), e.at, e.instance, e.volume);
+            self.faults_emitted += 1;
         }
     }
 
@@ -191,6 +216,7 @@ impl Cloud {
                 self.faults.log_crash(id.0, at, preempt);
             }
         }
+        self.flush_fault_events();
         if preempt {
             CloudError::SpotPreempted(id)
         } else {
@@ -276,6 +302,7 @@ impl Cloud {
             terminated_at: None,
             quality,
         });
+        self.flush_fault_events();
         Ok(id)
     }
 
@@ -406,7 +433,9 @@ impl Cloud {
     /// elsewhere). Costs `attach_overhead_s` of wall clock.
     pub fn attach_volume(&mut self, vol: VolumeId, inst: InstanceId) -> Result<(), CloudError> {
         let at = self.now;
-        if self.attach_inner(vol, inst, at)? {
+        let attached = self.attach_inner(vol, inst, at);
+        self.flush_fault_events();
+        if attached? {
             self.now += self.config.attach_overhead_s;
         }
         Ok(())
@@ -422,7 +451,9 @@ impl Cloud {
         inst: InstanceId,
         at: f64,
     ) -> Result<(), CloudError> {
-        self.attach_inner(vol, inst, at).map(|_| ())
+        let attached = self.attach_inner(vol, inst, at).map(|_| ());
+        self.flush_fault_events();
+        attached
     }
 
     /// Detach a volume from whatever holds it, without advancing the
@@ -506,6 +537,7 @@ impl Cloud {
             }
         }
         self.busy.insert(inst, end);
+        self.flush_fault_events();
         Ok(RunReport {
             instance: inst,
             true_secs,
@@ -609,6 +641,7 @@ impl Cloud {
         self.now += observed;
         let snapshot = self.instances[inst.0 as usize].clone();
         self.ledger.record(&snapshot, self.now);
+        self.flush_fault_events();
         Ok(RunReport {
             instance: inst,
             true_secs,
@@ -625,6 +658,7 @@ impl Cloud {
     /// consumes the scheduled event, so an immediate retry succeeds.
     pub fn s3_put(&mut self, key: &str, size: u64) -> Result<(), CloudError> {
         if self.faults.take_s3(false, self.now) {
+            self.flush_fault_events();
             return Err(CloudError::S3Transient(key.to_string()));
         }
         self.s3.put(key, size)
@@ -633,6 +667,7 @@ impl Cloud {
     /// Fetch an object's size, subject to injected transient S3 failures.
     pub fn s3_get(&mut self, key: &str) -> Result<u64, CloudError> {
         if self.faults.take_s3(true, self.now) {
+            self.flush_fault_events();
             return Err(CloudError::S3Transient(key.to_string()));
         }
         self.s3.get(key)

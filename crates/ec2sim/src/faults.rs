@@ -55,6 +55,21 @@ pub enum FaultKind {
 }
 
 impl FaultKind {
+    /// Stable snake_case label for event logs and reports. Part of the
+    /// observability log schema — renaming a label is a breaking change
+    /// for downstream log readers.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultKind::InstanceCrash => "instance_crash",
+            FaultKind::SpotPreemption => "spot_preemption",
+            FaultKind::S3TransientGet => "s3_transient_get",
+            FaultKind::S3TransientPut => "s3_transient_put",
+            FaultKind::EbsAttachFailure => "ebs_attach_failure",
+            FaultKind::IoSlowdown { .. } => "io_slowdown",
+            FaultKind::BootDelay { .. } => "boot_delay",
+        }
+    }
+
     /// Stable ordering rank, used to sort simultaneous events
     /// deterministically.
     fn rank(&self) -> u8 {

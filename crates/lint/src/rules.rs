@@ -75,12 +75,13 @@ const DETERMINISM_SENSITIVE: &[&str] = &[
     "core",
     "corpus",
     "ec2sim",
+    "obs",
 ];
 
 /// Crates where wall-clock reads would poison model fits and plans —
 /// including the simulator, whose clock is simulated seconds and whose
 /// fault schedules must replay bit-for-bit.
-const CLOCK_FREE: &[&str] = &["binpack", "ec2sim", "perfmodel", "provision"];
+const CLOCK_FREE: &[&str] = &["binpack", "ec2sim", "obs", "perfmodel", "provision"];
 
 /// Crates doing byte accounting where a narrowing cast silently corrupts.
 const BYTE_ACCOUNTING: &[&str] = &["binpack", "corpus"];

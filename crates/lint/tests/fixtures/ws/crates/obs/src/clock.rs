@@ -1,0 +1,6 @@
+//! Fixture: the observability sink must never read the wall clock —
+//! spans are keyed on simulated seconds, so RL005 fires here.
+
+pub fn span_stamp() -> std::time::Instant {
+    std::time::Instant::now()
+}

@@ -33,6 +33,7 @@ fn fixture_findings_match_golden_list() {
         ("crates/ec2sim/src/faults_clock.rs", 5, "RL005"),
         ("crates/ec2sim/src/map.rs", 3, "RL003"),
         ("crates/ec2sim/src/map.rs", 4, "RL003"),
+        ("crates/obs/src/clock.rs", 5, "RL005"),
         ("crates/provision/src/clock.rs", 4, "RL005"),
         ("src/lib.rs", 4, "RL002"),
     ];
@@ -103,7 +104,7 @@ fn exempt_locations_stay_silent() {
 fn json_report_is_well_formed() {
     let json = report().to_json();
     assert!(json.contains("\"schema\": \"reshape-lint/1\""));
-    assert!(json.contains("\"errors\": 16"));
+    assert!(json.contains("\"errors\": 17"));
     assert!(json.contains("\"suppressed\": 1"));
     // Deterministic: a second render is byte-identical.
     assert_eq!(json, report().to_json());

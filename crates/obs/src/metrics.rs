@@ -1,0 +1,102 @@
+//! Aggregated metric state: what the event log sums to at a point in time.
+//!
+//! The snapshot is derived entirely from recorded events, so it inherits
+//! their determinism: same seed, same call sequence, same snapshot.
+
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+/// Aggregate of all closed spans sharing a name.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct SpanStat {
+    /// Spans closed under this name.
+    pub count: u64,
+    /// Total simulated seconds across them.
+    pub secs: f64,
+}
+
+/// Lightweight histogram aggregate (count/sum/min/max — enough for the
+/// phase-breakdown report without bucketing policy baked into the log).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct HistStat {
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+}
+
+impl HistStat {
+    /// Fold one observation in.
+    pub fn observe(&mut self, value: f64) {
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Mean of the observations (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+impl Default for HistStat {
+    fn default() -> Self {
+        HistStat {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+}
+
+/// A point-in-time rollup of everything recorded so far.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct MetricsSnapshot {
+    /// Deterministic run id.
+    pub run_id: String,
+    /// The seed the run id derives from.
+    pub seed: u64,
+    /// Events recorded so far.
+    pub events: u64,
+    /// Monotone counters, by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauges (last write wins), by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram aggregates, by name.
+    pub histograms: BTreeMap<String, HistStat>,
+    /// Closed-span aggregates, by name.
+    pub spans: BTreeMap<String, SpanStat>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hist_folds_min_max_sum() {
+        let mut h = HistStat::default();
+        h.observe(2.0);
+        h.observe(8.0);
+        h.observe(5.0);
+        assert_eq!(h.count, 3);
+        assert!((h.sum - 15.0).abs() < 1e-12);
+        assert!((h.min - 2.0).abs() < 1e-12);
+        assert!((h.max - 8.0).abs() < 1e-12);
+        assert!((h.mean() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_hist_mean_is_zero() {
+        assert!(HistStat::default().mean().abs() < 1e-12);
+    }
+}

@@ -93,10 +93,23 @@ pub fn adjustment_factor(res: &ResidualStats, p_miss: f64) -> f64 {
     z * res.sigma + res.mu
 }
 
-/// The adjusted deadline `D / (1 + a)`, clamped so pathological residuals
-/// (a ≤ −1) never produce a non-positive deadline.
+/// The adjusted deadline: `D / (1 + a)` when `a > 0`, saturated at `D`
+/// otherwise.
+///
+/// Contract: the result is always in `(0, D]` — adjustment may only move
+/// the planning deadline *earlier*. A positive `a` (the model tends to
+/// under-predict) tightens the deadline to absorb the expected overshoot.
+/// A non-positive `a` (the model over-predicts on average) would naively
+/// yield `D / (1 + a) > D`, i.e. plan *later* than the user's deadline —
+/// and pathological residuals with `a ≤ −1` used to hit a `1e-9` clamp
+/// and return an absurd ~`D·10⁹`. Both now saturate to the raw `D`.
 pub fn adjusted_deadline(deadline: f64, a: f64) -> f64 {
-    deadline / (1.0 + a).max(1e-9)
+    let scale = 1.0 + a;
+    if scale <= 1.0 {
+        deadline
+    } else {
+        deadline / scale
+    }
 }
 
 #[cfg(test)]
@@ -165,6 +178,26 @@ mod tests {
     fn adjusted_deadline_clamped() {
         assert!(adjusted_deadline(100.0, -2.0) > 0.0);
         assert!((adjusted_deadline(100.0, 0.0) - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pathological_residuals_saturate_to_raw_deadline() {
+        // a ≤ −1 used to divide by the 1e-9 clamp and plan for ~D·10⁹;
+        // any a ≤ 0 must fall back to the raw deadline, never later.
+        for a in [-5.0, -2.0, -1.0, -0.999, -0.5, -1e-12, 0.0] {
+            let d = adjusted_deadline(3600.0, a);
+            assert!((d - 3600.0).abs() < 1e-12, "a = {a} gave {d}");
+        }
+    }
+
+    #[test]
+    fn adjusted_deadline_stays_within_raw() {
+        for a in [-5.0, -1.0, -1e-9, 0.0, 1e-9, 0.1525, 0.3, 10.0] {
+            let d = adjusted_deadline(1000.0, a);
+            assert!(d > 0.0 && d <= 1000.0, "a = {a} gave {d}");
+        }
+        // Positive adjustment factors still tighten the deadline.
+        assert!(adjusted_deadline(3600.0, 0.1525) < 3600.0);
     }
 
     #[test]

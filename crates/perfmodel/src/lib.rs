@@ -34,6 +34,6 @@ pub use probe::{
     build_probe_chain, build_probe_chain_par, choose_unit_size, ProbeCampaign, ProbePoint,
     ProbeSetResult, UnitSize,
 };
-pub use regression::{fit, fit_all, select_best, Fit, ModelKind};
+pub use regression::{fit, fit_all, select_best, try_fit, Fit, FitError, ModelKind};
 pub use stats::Measurement;
-pub use weighted::{fit_weighted, inverse_variance_weights, volume_weights};
+pub use weighted::{fit_weighted, inverse_variance_weights, try_fit_weighted, volume_weights};

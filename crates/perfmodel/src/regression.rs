@@ -41,7 +41,78 @@ impl ModelKind {
         ModelKind::LogQuad,
         ModelKind::Exponential,
     ];
+
+    /// Does fitting this family take `ln x`? Feeding it `x ≤ 0` would
+    /// produce NaN/−∞ coefficients.
+    pub fn needs_log_x(self) -> bool {
+        matches!(
+            self,
+            ModelKind::Linear | ModelKind::PowerLaw | ModelKind::LogQuad
+        )
+    }
+
+    /// Does fitting this family take `ln y`? Feeding it `y ≤ 0` would
+    /// produce NaN/−∞ coefficients.
+    pub fn needs_log_y(self) -> bool {
+        !matches!(self, ModelKind::Affine)
+    }
 }
+
+/// Why a fit was rejected before any coefficient was computed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FitError {
+    /// `xs` and `ys` differ in length.
+    LengthMismatch {
+        /// Number of x observations.
+        xs: usize,
+        /// Number of y observations.
+        ys: usize,
+    },
+    /// Fewer than two observations.
+    TooFewObservations {
+        /// Number of observations supplied.
+        n: usize,
+    },
+    /// A log-space family saw a sample whose logarithm does not exist;
+    /// the fit would silently produce NaN coefficients.
+    NonPositiveSample {
+        /// Index of the offending observation.
+        index: usize,
+        /// Its volume.
+        x: f64,
+        /// Its runtime.
+        y: f64,
+    },
+    /// A weighted fit saw a non-positive weight.
+    NonPositiveWeight {
+        /// Index of the offending weight.
+        index: usize,
+        /// Its value.
+        w: f64,
+    },
+}
+
+impl std::fmt::Display for FitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            FitError::LengthMismatch { xs, ys } => {
+                write!(f, "x/y length mismatch: {xs} x-values vs {ys} y-values")
+            }
+            FitError::TooFewObservations { n } => {
+                write!(f, "need at least two observations, got {n}")
+            }
+            FitError::NonPositiveSample { index, x, y } => write!(
+                f,
+                "observation {index} (x = {x}, y = {y}) must be positive for log-space fits"
+            ),
+            FitError::NonPositiveWeight { index, w } => {
+                write!(f, "weight {index} is {w}; weights must be positive")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FitError {}
 
 /// A fitted predictor.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -77,7 +148,8 @@ impl Fit {
 
     /// Invert the predictor: the volume `x` with `f(x) = y`, when the
     /// family is analytically invertible and the parameters make `f`
-    /// monotone increasing; `LogQuad` falls back to bisection.
+    /// monotone increasing; `LogQuad` solves its quadratic in `ln x` in
+    /// closed form, returning the root on the increasing branch.
     pub fn invert(&self, y: f64) -> Option<f64> {
         match self.kind {
             ModelKind::Linear => (self.a > 0.0 && y >= 0.0).then(|| y / self.a),
@@ -91,36 +163,62 @@ impl Fit {
                 (self.a > 0.0 && self.b != 0.0 && y > 0.0).then(|| (y / self.a).ln() / self.b)
             }
             ModelKind::LogQuad => {
+                // ln y = a·L² + b·L with L = ln x: a quadratic in L. Of its
+                // two roots `(−b ± √disc) / 2a` the "+" branch has slope
+                // `f'(L) = 2aL + b = +√disc ≥ 0` for either sign of `a`, so
+                // it is always the root on the increasing branch — the one
+                // "volume before deadline" queries want. (The old bisection
+                // over [1, 1e18] gave up whenever the bracket endpoints did
+                // not straddle `y`, e.g. for any `a < 0`.)
                 if y <= 0.0 {
                     return None;
                 }
-                // Bisect over a wide monotone bracket if one exists.
-                let (mut lo, mut hi) = (1.0f64, 1.0e18f64);
-                let (flo, fhi) = (self.predict(lo), self.predict(hi));
-                if !(flo <= y && y <= fhi) {
+                let ly = y.ln();
+                let disc = self.b * self.b + 4.0 * self.a * ly;
+                if disc < 0.0 {
                     return None;
                 }
-                for _ in 0..200 {
-                    let mid = (lo + hi) / 2.0;
-                    if self.predict(mid) < y {
-                        lo = mid;
-                    } else {
-                        hi = mid;
+                let sqrt_disc = disc.sqrt();
+                let denom = self.b + sqrt_disc;
+                let l = if denom > 0.0 {
+                    // Citardauq form: stable as a → 0 (degenerates to the
+                    // pure power-law inverse ln y / b).
+                    2.0 * ly / denom
+                } else {
+                    // b + √disc ≤ 0 forces b ≤ 0; a linear log-model
+                    // (a = 0) with b ≤ 0 has no increasing branch.
+                    // lint:allow(RL004, exact-zero guard: the quadratic root below divides by a)
+                    if self.a == 0.0 {
+                        return None;
                     }
-                }
-                Some((lo + hi) / 2.0)
+                    (-self.b + sqrt_disc) / (2.0 * self.a)
+                };
+                let x = l.exp();
+                x.is_finite().then_some(x)
             }
         }
     }
 }
 
-fn check_inputs(xs: &[f64], ys: &[f64]) {
-    assert_eq!(xs.len(), ys.len(), "x/y length mismatch");
-    assert!(xs.len() >= 2, "need at least two observations");
-    assert!(
-        xs.iter().all(|&x| x > 0.0) && ys.iter().all(|&y| y > 0.0),
-        "volumes and runtimes must be positive for log-space fits"
-    );
+/// Validate observations for `kind`: matching lengths, at least two
+/// points, and strictly positive values wherever the family takes a
+/// logarithm. `Affine` fits in linear space and accepts any values.
+pub(crate) fn check_samples(kind: ModelKind, xs: &[f64], ys: &[f64]) -> Result<(), FitError> {
+    if xs.len() != ys.len() {
+        return Err(FitError::LengthMismatch {
+            xs: xs.len(),
+            ys: ys.len(),
+        });
+    }
+    if xs.len() < 2 {
+        return Err(FitError::TooFewObservations { n: xs.len() });
+    }
+    for (index, (&x, &y)) in xs.iter().zip(ys).enumerate() {
+        if (kind.needs_log_x() && x <= 0.0) || (kind.needs_log_y() && y <= 0.0) {
+            return Err(FitError::NonPositiveSample { index, x, y });
+        }
+    }
+    Ok(())
 }
 
 fn finish(kind: ModelKind, a: f64, b: f64, xs: &[f64], ys: &[f64]) -> Fit {
@@ -158,9 +256,30 @@ fn finish(kind: ModelKind, a: f64, b: f64, xs: &[f64], ys: &[f64]) -> Fit {
     fit
 }
 
-/// Fit one family to the observations.
+/// Fit one family to the observations, rejecting invalid input with a
+/// typed [`FitError`]. In particular the log-space families (every kind
+/// except `Affine`) reject non-positive samples instead of silently
+/// producing NaN coefficients.
+pub fn try_fit(kind: ModelKind, xs: &[f64], ys: &[f64]) -> Result<Fit, FitError> {
+    check_samples(kind, xs, ys)?;
+    Ok(fit_checked(kind, xs, ys))
+}
+
+/// Fit one family to the observations, panicking on invalid input.
+///
+/// This is the original infallible API; use [`try_fit`] to handle bad
+/// samples (e.g. non-positive runtimes under a log-space family) as a
+/// typed error instead of a panic.
 pub fn fit(kind: ModelKind, xs: &[f64], ys: &[f64]) -> Fit {
-    check_inputs(xs, ys);
+    match try_fit(kind, xs, ys) {
+        Ok(f) => f,
+        // lint:allow(RL002, panicking facade over try_fit preserves the original API contract)
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// The fitting kernels, after `check_samples` has validated the input.
+fn fit_checked(kind: ModelKind, xs: &[f64], ys: &[f64]) -> Fit {
     let n = xs.len() as f64;
     match kind {
         ModelKind::Linear => {
@@ -323,7 +442,7 @@ mod tests {
     }
 
     #[test]
-    fn logquad_inversion_by_bisection() {
+    fn logquad_inversion_closed_form() {
         let xs: Vec<f64> = (2..=30).map(|i| i as f64 * 1000.0).collect();
         let ys: Vec<f64> = xs
             .iter()
@@ -336,6 +455,98 @@ mod tests {
         let y = f.predict(12_345.0);
         let x = f.invert(y).unwrap();
         assert!((x - 12_345.0).abs() / 12_345.0 < 1e-6);
+    }
+
+    fn logquad(a: f64, b: f64) -> Fit {
+        Fit {
+            kind: ModelKind::LogQuad,
+            a,
+            b,
+            r2: 1.0,
+            residuals: Vec::new(),
+            relative_residuals: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn logquad_inversion_solves_negative_curvature() {
+        // a < 0 caps ln f at L = −b/2a = 10; the old bisection bracket
+        // [1, 1e18] saw f(1e18) < y and returned None for every query.
+        let f = logquad(-0.05, 1.0);
+        let x0 = 5.0f64.exp();
+        let y = f.predict(x0);
+        let x = f.invert(y).expect("quadratic in ln x is solvable");
+        assert!((x - x0).abs() / x0 < 1e-9, "got {x}, want {x0}");
+    }
+
+    #[test]
+    fn logquad_inversion_below_unity_volume() {
+        // y < f(1) = 1 also escaped the old bracket. The increasing-branch
+        // root sits below x = 1 and must be found.
+        let f = logquad(0.01, 0.5);
+        let y = 0.5;
+        let x = f.invert(y).expect("root below 1 exists");
+        assert!((f.predict(x) - y).abs() / y < 1e-9);
+        assert!(x < 1.0);
+    }
+
+    #[test]
+    fn logquad_inversion_domain_checks() {
+        // Below the quadratic's reachable minimum: no real root.
+        let f = logquad(-0.05, 1.0);
+        // max of ln f is b²/(−4a) = 5 → y above e⁵ is unreachable.
+        assert_eq!(f.invert(6.0f64.exp()), None);
+        assert_eq!(f.invert(0.0), None);
+        assert_eq!(f.invert(-1.0), None);
+        // Degenerate a = 0, b ≤ 0: no increasing branch.
+        assert_eq!(logquad(0.0, -0.5).invert(2.0), None);
+        // Degenerate a = 0, b > 0: pure power law inverse.
+        let f = logquad(0.0, 2.0);
+        let x = f.invert(16.0).expect("x² = 16");
+        assert!((x - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn try_fit_rejects_nonpositive_samples_per_kind() {
+        let bad_y = ([1.0, 2.0, 3.0], [1.0, -2.0, 3.0]);
+        let bad_x = ([1.0, 0.0, 3.0], [1.0, 2.0, 3.0]);
+        for kind in [ModelKind::Linear, ModelKind::PowerLaw, ModelKind::LogQuad] {
+            assert!(matches!(
+                try_fit(kind, &bad_y.0, &bad_y.1),
+                Err(FitError::NonPositiveSample { index: 1, .. })
+            ));
+            assert!(matches!(
+                try_fit(kind, &bad_x.0, &bad_x.1),
+                Err(FitError::NonPositiveSample { index: 1, .. })
+            ));
+        }
+        // Exponential only logs y: x ≤ 0 is fine, y ≤ 0 is not.
+        assert!(matches!(
+            try_fit(ModelKind::Exponential, &bad_y.0, &bad_y.1),
+            Err(FitError::NonPositiveSample { index: 1, .. })
+        ));
+        assert!(try_fit(ModelKind::Exponential, &bad_x.0, &bad_x.1).is_ok());
+        // Affine fits in linear space and accepts any finite samples.
+        let f = try_fit(ModelKind::Affine, &bad_y.0, &bad_y.1).expect("affine accepts y <= 0");
+        assert!(f.a.is_finite() && f.b.is_finite());
+    }
+
+    #[test]
+    fn try_fit_reports_shape_errors() {
+        assert_eq!(
+            try_fit(ModelKind::Affine, &[1.0], &[1.0, 2.0]),
+            Err(FitError::LengthMismatch { xs: 1, ys: 2 })
+        );
+        assert_eq!(
+            try_fit(ModelKind::Affine, &[1.0], &[1.0]),
+            Err(FitError::TooFewObservations { n: 1 })
+        );
+        let err = FitError::NonPositiveSample {
+            index: 3,
+            x: 1.0,
+            y: -2.0,
+        };
+        assert!(err.to_string().contains("must be positive"));
     }
 
     #[test]

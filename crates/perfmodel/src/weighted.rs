@@ -4,7 +4,7 @@
 //! looser fits in the small data volume range" (small-volume measurements
 //! carry the larger relative noise, per Fig 3).
 
-use crate::regression::{Fit, ModelKind};
+use crate::regression::{check_samples, Fit, FitError, ModelKind};
 
 /// Weights proportional to volume (normalized to mean 1) — the paper's
 /// suggestion: trust big-probe observations most.
@@ -71,19 +71,44 @@ fn finish(kind: ModelKind, a: f64, b: f64, xs: &[f64], ys: &[f64]) -> Fit {
     fit
 }
 
-/// Weighted fit of one model family. Weight semantics: observation `i`
-/// contributes `weights[i]` times the squared error of an unweighted
-/// observation (in the space the family is fitted in).
+/// Weighted fit of one model family, rejecting invalid input with a typed
+/// [`FitError`]. Weight semantics: observation `i` contributes
+/// `weights[i]` times the squared error of an unweighted observation (in
+/// the space the family is fitted in).
+pub fn try_fit_weighted(
+    kind: ModelKind,
+    xs: &[f64],
+    ys: &[f64],
+    weights: &[f64],
+) -> Result<Fit, FitError> {
+    check_samples(kind, xs, ys)?;
+    if xs.len() != weights.len() {
+        return Err(FitError::LengthMismatch {
+            xs: xs.len(),
+            ys: weights.len(),
+        });
+    }
+    if let Some((index, &w)) = weights.iter().enumerate().find(|(_, &w)| w <= 0.0) {
+        return Err(FitError::NonPositiveWeight { index, w });
+    }
+    Ok(fit_weighted_checked(kind, xs, ys, weights))
+}
+
+/// Weighted fit of one model family, panicking on invalid input.
+///
+/// This is the original infallible API; use [`try_fit_weighted`] to handle
+/// bad samples or weights as a typed error instead of a panic.
 pub fn fit_weighted(kind: ModelKind, xs: &[f64], ys: &[f64], weights: &[f64]) -> Fit {
-    assert_eq!(xs.len(), ys.len(), "x/y length mismatch");
     assert_eq!(xs.len(), weights.len(), "weight length mismatch");
-    assert!(xs.len() >= 2, "need at least two observations");
-    assert!(
-        xs.iter().all(|&x| x > 0.0)
-            && ys.iter().all(|&y| y > 0.0)
-            && weights.iter().all(|&w| w > 0.0),
-        "volumes, runtimes and weights must be positive"
-    );
+    match try_fit_weighted(kind, xs, ys, weights) {
+        Ok(f) => f,
+        // lint:allow(RL002, panicking facade over try_fit_weighted preserves the original API contract)
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// The weighted fitting kernels, after input validation.
+fn fit_weighted_checked(kind: ModelKind, xs: &[f64], ys: &[f64], weights: &[f64]) -> Fit {
     match kind {
         ModelKind::Linear => {
             // Y = ln a + X: weighted mean of (ln y − ln x).
@@ -215,6 +240,15 @@ mod tests {
         assert!((f.a - 3.0e-8).abs() < 1e-15);
         assert!((f.b - 0.5).abs() < 1e-9);
         assert!(f.r2 > 0.999999);
+    }
+
+    #[test]
+    fn try_fit_weighted_rejects_bad_weights() {
+        let r = try_fit_weighted(ModelKind::Affine, &[1.0, 2.0], &[1.0, 2.0], &[1.0, -1.0]);
+        assert!(matches!(
+            r,
+            Err(FitError::NonPositiveWeight { index: 1, .. })
+        ));
     }
 
     #[test]

@@ -6,7 +6,7 @@
 use binpack::Parallelism;
 use perfmodel::{
     adjusted_deadline, adjustment_factor, build_probe_chain, build_probe_chain_par, fit,
-    fit_weighted, inverse_normal_cdf, volume_weights, Measurement, ModelKind, ResidualStats,
+    fit_weighted, inverse_normal_cdf, volume_weights, Fit, Measurement, ModelKind, ResidualStats,
 };
 use proptest::prelude::*;
 
@@ -114,6 +114,40 @@ proptest! {
         let tight = adjusted_deadline(deadline, adjustment_factor(&res, 0.01));
         prop_assert!(tight <= loose);
         prop_assert!(tight > 0.0);
+    }
+
+    #[test]
+    fn logquad_inversion_roundtrips(
+        a in -0.1f64..0.1,
+        b in 0.3f64..1.5,
+        x in 2.0f64..1.0e6,
+    ) {
+        let f = Fit {
+            kind: ModelKind::LogQuad,
+            a,
+            b,
+            r2: 1.0,
+            residuals: Vec::new(),
+            relative_residuals: Vec::new(),
+        };
+        let lx = x.ln();
+        // invert() returns the increasing-branch root, so only points with
+        // f'(ln x) > 0 round-trip to themselves; the other preimage of y
+        // belongs to the decreasing branch.
+        if 2.0 * a * lx + b > 1e-3 {
+            let y = f.predict(x);
+            let back = f.invert(y).expect("solvable quadratic in ln x");
+            prop_assert!((back - x).abs() / x < 1e-6, "x = {x}, back = {back}");
+        }
+    }
+
+    #[test]
+    fn adjusted_deadline_saturates_at_raw(
+        a in -3.0f64..3.0,
+        deadline in 1.0f64..100_000.0,
+    ) {
+        let d = adjusted_deadline(deadline, a);
+        prop_assert!(d > 0.0 && d <= deadline, "a = {a} gave {d}");
     }
 
     #[test]

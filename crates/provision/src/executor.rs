@@ -7,6 +7,7 @@ use crate::plan::Plan;
 use crate::pricing::{instance_hours, PricingModel};
 use corpus::FileSpec;
 use ec2sim::{screen_at, Cloud, CloudError, DataLocation, InstanceId, RunReport, ScreeningPolicy};
+use obs::Obs;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -133,10 +134,31 @@ pub fn execute_plan(
     model: &dyn AppCostModel,
     cfg: &ExecutionConfig,
 ) -> Result<ExecutionReport, CloudError> {
+    execute_plan_observed(cloud, plan, model, cfg, &Obs::default())
+}
+
+/// [`execute_plan`] with an observability sink: emits a per-bin
+/// `execute.share` span (on the instance's simulated timeline), byte and
+/// job-time metrics, and fleet-level gauges. With the default no-op sink
+/// this is exactly `execute_plan`.
+pub fn execute_plan_observed(
+    cloud: &mut Cloud,
+    plan: &Plan,
+    model: &dyn AppCostModel,
+    cfg: &ExecutionConfig,
+    obs: &Obs,
+) -> Result<ExecutionReport, CloudError> {
     let mut runs = Vec::with_capacity(plan.instance_count());
     let attach = cloud.config().attach_overhead_s;
+    // The fleet runs on per-instance event timelines without advancing the
+    // cloud's global clock, so the phase span is closed at the last
+    // simulated finish time rather than at `cloud.now()`.
+    let phase_start = cloud.now();
+    let mut last_finish = phase_start;
+    let phase = obs.span_start("pipeline.execute", phase_start);
     for share in &plan.instances {
         let (inst, boot_done) = acquire_fleet_instance(cloud, cfg)?;
+        let span = obs.span_start("execute.share", boot_done);
         let (data, setup_secs) = match cfg.staging {
             StagingTier::Ebs => {
                 let vol = cloud.create_volume(cfg.zone, share.volume.max(1));
@@ -154,6 +176,10 @@ pub fn execute_plan(
         let report = cloud.submit_job(inst, model, &share.files, data, boot_done + setup_secs)?;
         cloud.terminate_at(inst, report.finished_at)?;
         let job_secs = setup_secs + report.observed_secs;
+        last_finish = last_finish.max(report.finished_at);
+        obs.span_end(span, report.finished_at);
+        obs.count("execute.bytes_moved", share.volume);
+        obs.observe("execute.job_secs", job_secs);
         runs.push(InstanceRun {
             instance: inst,
             volume: share.volume,
@@ -166,6 +192,10 @@ pub fn execute_plan(
     let makespan_secs = runs.iter().map(|r| r.job_secs).fold(0.0, f64::max);
     let misses = runs.iter().filter(|r| !r.met_deadline).count();
     let hours: u64 = runs.iter().map(|r| instance_hours(r.job_secs)).sum();
+    obs.count("execute.shares", runs.len() as u64);
+    obs.count("execute.instance_hours", hours);
+    obs.gauge("execute.makespan_secs", makespan_secs);
+    obs.span_end(phase, last_finish);
     Ok(ExecutionReport {
         deadline_secs: plan.deadline_secs,
         makespan_secs,
@@ -295,8 +325,9 @@ fn acquire_fleet_instance_resilient(
 enum AttemptEnd {
     /// The share completed; the run report is final.
     Done(RunReport),
-    /// Retries or replacements exhausted; the share's bytes are lost.
-    GaveUp,
+    /// Retries or replacements exhausted at the given simulated time; the
+    /// share's bytes are lost.
+    GaveUp(f64),
 }
 
 /// Execute a plan on a possibly faulty cloud: transient errors back off
@@ -314,6 +345,23 @@ pub fn execute_plan_resilient(
     cfg: &ExecutionConfig,
     retry: &RetryPolicy,
 ) -> Result<DegradedReport, CloudError> {
+    execute_plan_resilient_observed(cloud, plan, model, cfg, retry, &Obs::default())
+}
+
+/// [`execute_plan_resilient`] with an observability sink: in addition to
+/// the `execute_plan_observed` metrics it counts retries, crashes,
+/// preemptions, replacements, requeued bins and recovered/lost bytes as
+/// they happen, so the event log shows *when* in simulated time each
+/// recovery action fired. With the default no-op sink this is exactly
+/// `execute_plan_resilient`.
+pub fn execute_plan_resilient_observed(
+    cloud: &mut Cloud,
+    plan: &Plan,
+    model: &dyn AppCostModel,
+    cfg: &ExecutionConfig,
+    retry: &RetryPolicy,
+    obs: &Obs,
+) -> Result<DegradedReport, CloudError> {
     let mut rng = StdRng::seed_from_u64(retry.seed ^ 0xBACC_0FF5);
     let attach = cloud.config().attach_overhead_s;
     let mut runs = Vec::with_capacity(plan.instance_count());
@@ -323,10 +371,17 @@ pub fn execute_plan_resilient(
     let (mut replacements, mut requeued_shares) = (0usize, 0usize);
     let (mut recovered_bytes, mut lost_bytes) = (0u64, 0u64);
     let mut hours = 0u64;
+    // As in `execute_plan_observed`: the fleet works on per-instance event
+    // timelines, so the phase span closes at the last simulated finish (or
+    // give-up) time, not at `cloud.now()`.
+    let phase_start = cloud.now();
+    let mut last_finish = phase_start;
+    let phase = obs.span_start("pipeline.execute", phase_start);
 
     for (idx, share) in plan.instances.iter().enumerate() {
         let (mut inst, mut ready) = acquire_fleet_instance_resilient(cloud, cfg)?;
         let first_ready = ready;
+        let span = obs.span_start("execute.share", first_ready);
         // A persistent EBS volume survives instance loss and re-attaches
         // to the replacement; local staging re-stages from scratch.
         let vol = match cfg.staging {
@@ -358,6 +413,7 @@ pub fn execute_plan_resilient(
                                 break;
                             }
                             transient_retries += 1;
+                            obs.count("execute.transient_retries", 1);
                             t += retry.backoff_secs(attempt, &mut rng);
                         }
                         Err(e) => return Err(e),
@@ -375,7 +431,7 @@ pub fn execute_plan_resilient(
                 // The instance is alive but the share is stuck; release it.
                 cloud.terminate_at(inst, t)?;
                 hours += instance_hours((t - ready).max(0.0));
-                break AttemptEnd::GaveUp;
+                break AttemptEnd::GaveUp(t);
             }
             if lost.is_none() {
                 match cloud.submit_job(inst, model, &share.files, data, t) {
@@ -393,16 +449,19 @@ pub fn execute_plan_resilient(
             // the whole bin on a replacement.
             if matches!(lost, Some(CloudError::SpotPreempted(_))) {
                 preemptions += 1;
+                obs.count("execute.preemptions", 1);
             } else {
                 crashes += 1;
+                obs.count("execute.crashes", 1);
             }
             let t_dead = cloud.crash_time(inst).unwrap_or(t).max(ready);
             hours += instance_hours((t_dead - ready).max(0.0));
             if share_replacements >= retry.max_replacements {
-                break AttemptEnd::GaveUp;
+                break AttemptEnd::GaveUp(t_dead);
             }
             share_replacements += 1;
             replacements += 1;
+            obs.count("execute.replacements", 1);
             let (new_inst, new_ready) = acquire_fleet_instance_resilient(cloud, cfg)?;
             inst = new_inst;
             // The replacement cannot pick the work up before the loss.
@@ -411,6 +470,10 @@ pub fn execute_plan_resilient(
         match end {
             AttemptEnd::Done(report) => {
                 let job_secs = report.finished_at - first_ready;
+                last_finish = last_finish.max(report.finished_at);
+                obs.span_end(span, report.finished_at);
+                obs.count("execute.bytes_moved", share.volume);
+                obs.observe("execute.job_secs", job_secs);
                 runs.push(InstanceRun {
                     instance: report.instance,
                     volume: share.volume,
@@ -423,9 +486,15 @@ pub fn execute_plan_resilient(
                 if share_replacements > 0 {
                     requeued_shares += 1;
                     recovered_bytes += share.volume;
+                    obs.count("execute.requeued_shares", 1);
+                    obs.count("execute.recovered_bytes", share.volume);
                 }
             }
-            AttemptEnd::GaveUp => {
+            AttemptEnd::GaveUp(at) => {
+                last_finish = last_finish.max(at);
+                obs.span_end(span, at);
+                obs.count("execute.failed_shares", 1);
+                obs.count("execute.lost_bytes", share.volume);
                 failed_shares.push(idx);
                 share_files.push(Vec::new());
                 lost_bytes += share.volume;
@@ -435,6 +504,10 @@ pub fn execute_plan_resilient(
 
     let makespan_secs = runs.iter().map(|r| r.job_secs).fold(0.0, f64::max);
     let misses = runs.iter().filter(|r| !r.met_deadline).count() + failed_shares.len();
+    obs.count("execute.shares", runs.len() as u64);
+    obs.count("execute.instance_hours", hours);
+    obs.gauge("execute.makespan_secs", makespan_secs);
+    obs.span_end(phase, last_finish);
     Ok(DegradedReport {
         execution: ExecutionReport {
             deadline_secs: plan.deadline_secs,

@@ -33,8 +33,8 @@ pub use budget::{cheapest_plan, plan_within_budget, BudgetPlan};
 pub use dynamic::{execute_dynamic, DynamicConfig, DynamicReport};
 pub use error::ProvisionError;
 pub use executor::{
-    execute_plan, execute_plan_resilient, DegradedReport, ExecutionConfig, ExecutionReport,
-    InstanceRun, RetryPolicy, StagingTier,
+    execute_plan, execute_plan_observed, execute_plan_resilient, execute_plan_resilient_observed,
+    DegradedReport, ExecutionConfig, ExecutionReport, InstanceRun, RetryPolicy, StagingTier,
 };
 pub use montecarlo::{evaluate_plan, PlanDistribution};
 pub use plan::{InstancePlan, Plan};

@@ -33,15 +33,32 @@ pub fn instance_hours(secs: f64) -> u64 {
     }
 }
 
+/// Ceiling that forgives float noise: a value within one part in 10⁹ of an
+/// integer — e.g. `(k·d)/d` landing a few ULPs above `k` — counts as that
+/// integer instead of spilling into the next billing block.
+fn robust_ceil(x: f64) -> f64 {
+    let nearest = x.round();
+    if (x - nearest).abs() <= 1e-9 * nearest.abs().max(1.0) {
+        nearest
+    } else {
+        x.ceil()
+    }
+}
+
 /// The paper's piecewise cost `f(d)` for predicted work `p_hours` under
 /// deadline `d_hours`, both in hours, for a linear (`y = ax`) performance
 /// model.
+///
+/// Block counts are rounded with [`robust_ceil`]: work that is an exact
+/// multiple of the deadline (`p_hours = k·d_hours`) bills exactly `k`
+/// blocks even when the division lands a few ULPs above `k` — the naive
+/// `(p_hours / d_hours).ceil()` overbilled such workloads by one block.
 pub fn cost_for_deadline(pricing: &PricingModel, p_hours: f64, d_hours: f64) -> f64 {
     assert!(p_hours >= 0.0 && d_hours > 0.0, "invalid work or deadline");
     if d_hours >= 1.0 {
-        pricing.hourly_rate * p_hours.ceil()
+        pricing.hourly_rate * robust_ceil(p_hours)
     } else {
-        pricing.hourly_rate * (p_hours / d_hours).ceil()
+        pricing.hourly_rate * robust_ceil(p_hours / d_hours)
     }
 }
 
@@ -78,6 +95,24 @@ mod tests {
     fn cost_monotone_in_work() {
         let p = PricingModel::default();
         assert!(cost_for_deadline(&p, 10.0, 2.0) <= cost_for_deadline(&p, 11.0, 2.0));
+    }
+
+    #[test]
+    fn exact_multiple_of_deadline_not_overbilled() {
+        let p = PricingModel::default();
+        // 0.07 / 0.01 = 7.000000000000001 in f64: exactly k·d_hours of
+        // work must bill k blocks, not k + 1.
+        let c = cost_for_deadline(&p, 0.07, 0.01);
+        assert!((c - 7.0 * 0.085).abs() < 1e-9, "billed {c}");
+        // An exactly representable multiple stays exact too.
+        let c = cost_for_deadline(&p, 1.75, 0.25);
+        assert!((c - 7.0 * 0.085).abs() < 1e-9, "billed {c}");
+        // The whole-hour branch gets the same forgiveness.
+        let c = cost_for_deadline(&p, 27.000000000000004, 2.0);
+        assert!((c - 27.0 * 0.085).abs() < 1e-9, "billed {c}");
+        // Genuinely fractional work still rounds up.
+        let c = cost_for_deadline(&p, 0.071, 0.01);
+        assert!((c - 8.0 * 0.085).abs() < 1e-9, "billed {c}");
     }
 
     #[test]

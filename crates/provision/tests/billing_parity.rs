@@ -1,0 +1,57 @@
+//! Hour-boundary parity between the two ceiling implementations:
+//! `ec2sim::billing::billed_hours` (what the simulated ledger charges) and
+//! `provision::instance_hours` (what the planner predicts). If either side
+//! drifts — an off-by-one at exactly 3600 s, a different zero-duration
+//! convention — plans would systematically mis-predict fleet cost.
+
+use ec2sim::billed_hours;
+use proptest::prelude::*;
+use provision::instance_hours;
+
+const EPS: f64 = 1e-9;
+
+#[test]
+fn hour_boundaries_agree_and_match_contract() {
+    // (seconds, billed hours): the paper's flat per-started-hour scheme.
+    let cases: &[(f64, u64)] = &[
+        (0.0, 0), // never ran → free on both sides
+        (EPS, 1), // any running time starts the first hour
+        (1.0, 1),
+        (3599.999, 1),
+        (3600.0, 1), // exactly one hour is one hour, not two
+        (3600.0 + EPS, 2),
+        (7199.999, 2),
+        (7200.0, 2),
+        (7200.0 + EPS, 3),
+        (86_400.0, 24),
+    ];
+    for &(secs, hours) in cases {
+        assert_eq!(billed_hours(secs), hours, "ec2sim at {secs} s");
+        assert_eq!(instance_hours(secs), hours, "provision at {secs} s");
+    }
+}
+
+#[test]
+fn negative_durations_are_free_on_both_sides() {
+    for secs in [-1.0, -3600.0, f64::MIN] {
+        assert_eq!(billed_hours(secs), 0);
+        assert_eq!(instance_hours(secs), 0);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    // The two implementations must agree everywhere, including straddling
+    // hour multiples, not just at the pinned boundary cases above.
+    #[test]
+    fn ceil_implementations_never_drift(
+        hours in 0u64..200,
+        frac in 0.0f64..1.0,
+    ) {
+        let secs = hours as f64 * 3600.0 + frac * 3600.0;
+        prop_assert_eq!(billed_hours(secs), instance_hours(secs), "at {} s", secs);
+        let exact = hours as f64 * 3600.0;
+        prop_assert_eq!(billed_hours(exact), instance_hours(exact), "at {} s", exact);
+    }
+}

@@ -35,6 +35,11 @@ if [[ $fast -eq 0 ]]; then
   # additionally persists the DegradedReport artifact CI uploads.
   echo "==> chaos ablation (writes results/CHAOS_seed*.json)"
   SMOKE=1 cargo run --release -q -p bench --bin chaos_ablation
+  # Observability smoke: runs the pipeline twice with a recording sink,
+  # asserts the same-seed logs are byte-identical and persists the
+  # per-phase breakdown CI uploads.
+  echo "==> obs report (writes results/OBS_phase_breakdown.json)"
+  SMOKE=1 cargo run --release -q -p bench --bin obs_report
 fi
 
 echo "verify: OK"

@@ -1,0 +1,128 @@
+//! Observability-layer integration tests: the same-seed pipeline run must
+//! emit a byte-identical NDJSON event log, fault-free and faulty alike.
+
+use obs::Obs;
+use reshape::{App, FaultConfig, Pipeline, PipelineConfig, ProbeCampaign, Workload};
+
+fn grep_config() -> PipelineConfig {
+    PipelineConfig {
+        deadline_secs: 10.0,
+        probe: ProbeCampaign {
+            v0: 5_000_000,
+            growth: 5,
+            max_volume: 400_000_000,
+            repeats: 3,
+            s0: 1_000_000,
+            factors: vec![10, 100],
+            stability_cv: 0.25,
+            min_sets: 3,
+        },
+        ..PipelineConfig::default()
+    }
+}
+
+fn faulty_config() -> PipelineConfig {
+    let mut config = grep_config();
+    config.cloud.homogeneous = true;
+    config.screen_fleet = false;
+    config.faults = Some(FaultConfig {
+        horizon_secs: 300.0,
+        first_instance: 1,
+        first_volume: 1,
+        crash_prob: 0.3,
+        preemption_prob: 0.1,
+        boot_delay_prob: 0.5,
+        attach_failure_prob: 0.3,
+        ..FaultConfig::default()
+    });
+    config
+}
+
+/// Run the pipeline once with a fresh recording sink and return the NDJSON
+/// log it produced.
+fn run_and_log(mut config: PipelineConfig, workload: &Workload) -> String {
+    let sink = Obs::recording(config.cloud.seed);
+    config.obs = sink.clone();
+    Pipeline::new(config).run(workload).unwrap();
+    sink.to_ndjson()
+}
+
+#[test]
+fn same_seed_runs_emit_byte_identical_logs() {
+    let manifest = corpus::html_18mil(0.0005, 31);
+    let workload = Workload::new(manifest, App::grep("zxqv"));
+    let first = run_and_log(grep_config(), &workload);
+    let second = run_and_log(grep_config(), &workload);
+    assert!(!first.is_empty(), "recording run produced no events");
+    assert_eq!(first, second, "same-seed logs must be byte-identical");
+}
+
+#[test]
+fn same_seed_faulty_runs_emit_byte_identical_logs_with_fault_events() {
+    let manifest = corpus::html_18mil(0.001, 32);
+    let workload = Workload::new(manifest, App::grep("zxqv"));
+    let first = run_and_log(faulty_config(), &workload);
+    let second = run_and_log(faulty_config(), &workload);
+    assert_eq!(
+        first, second,
+        "faulty same-seed logs must be byte-identical"
+    );
+    assert!(
+        first.contains("\"Fault\""),
+        "a faulty run must log fault-injection events"
+    );
+}
+
+#[test]
+fn log_leads_with_run_start_and_has_gap_free_sequence_numbers() {
+    let manifest = corpus::html_18mil(0.0005, 33);
+    let workload = Workload::new(manifest, App::grep("zxqv"));
+    let log = run_and_log(grep_config(), &workload);
+    let lines: Vec<&str> = log.lines().collect();
+    assert!(lines.len() > 10, "expected a substantive log");
+    assert!(lines[0].contains("\"RunStart\""));
+    assert!(lines[0].contains(&format!(
+        "\"run_id\":\"{}\"",
+        obs::run_id_from_seed(grep_config().cloud.seed)
+    )));
+    for (i, line) in lines.iter().enumerate() {
+        assert!(
+            line.starts_with(&format!("{{\"seq\":{i},")),
+            "line {i} out of sequence: {line}"
+        );
+    }
+}
+
+#[test]
+fn log_covers_every_pipeline_phase() {
+    let manifest = corpus::html_18mil(0.0005, 34);
+    let workload = Workload::new(manifest, App::grep("zxqv"));
+    let log = run_and_log(grep_config(), &workload);
+    for phase in [
+        "pipeline.screen",
+        "pipeline.probe",
+        "pipeline.reshape",
+        "pipeline.fit",
+        "pipeline.plan",
+        "pipeline.execute",
+    ] {
+        assert!(log.contains(phase), "phase {phase} missing from log");
+    }
+    for name in ["execute.bytes_moved", "reshape.files_out", "plan.instances"] {
+        assert!(log.contains(name), "counter {name} missing from log");
+    }
+    assert!(log.contains("\"Shard\""), "shard accounting missing");
+}
+
+#[test]
+fn noop_sink_changes_nothing_about_the_run() {
+    let manifest = corpus::html_18mil(0.0005, 35);
+    let workload = Workload::new(manifest, App::grep("zxqv"));
+    let silent = Pipeline::new(grep_config()).run(&workload).unwrap();
+    let mut config = grep_config();
+    let sink = Obs::recording(config.cloud.seed);
+    config.obs = sink.clone();
+    let observed = Pipeline::new(config).run(&workload).unwrap();
+    assert_eq!(silent, observed, "observation must not perturb the run");
+    assert_eq!(Obs::default().to_ndjson(), "");
+}

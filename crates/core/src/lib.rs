@@ -37,10 +37,12 @@
 
 #![forbid(unsafe_code)]
 
+mod multi_tenant;
 mod pipeline;
 mod reshape_step;
 mod workload;
 
+pub use multi_tenant::{run_multi_tenant, MultiTenantConfig};
 pub use pipeline::{
     FitWeighting, ModelSelection, Pipeline, PipelineConfig, PipelineError, PipelineReport,
     RefitConfig,
@@ -54,3 +56,7 @@ pub use corpus::{FileSpec, Manifest};
 pub use ec2sim::{Cloud, CloudConfig, FaultConfig, FaultPlan};
 pub use perfmodel::{Fit, ModelKind, ProbeCampaign, UnitSize};
 pub use provision::{DegradedReport, ExecutionReport, RetryPolicy, StagingTier, Strategy};
+pub use sched::{
+    Admission, ArrivalTrace, InstancePool, Job, JobOutcome, PoolConfig, SchedConfig, SchedReport,
+    TenantId, TraceConfig,
+};

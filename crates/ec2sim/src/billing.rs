@@ -38,6 +38,16 @@ pub fn billed_hours(running_seconds: f64) -> u64 {
     }
 }
 
+/// The simulated time through which an instance whose billing anchor is
+/// `anchor` has already paid, given the hours billed to it so far. The
+/// interval `[anchor, paid_through)` is bought capacity: work finishing
+/// inside it costs zero marginal dollars — the economic basis for keeping
+/// released instances warm instead of terminating them (§1.1: "once an
+/// instance is started, the rest of its hour is already paid for").
+pub fn paid_through(anchor: f64, billed: u64) -> f64 {
+    anchor + billed as f64 * 3600.0
+}
+
 impl BillingLedger {
     /// Empty ledger.
     pub fn new() -> Self {
@@ -108,6 +118,17 @@ mod tests {
         assert_eq!(billed_hours(3600.1), 2);
         assert_eq!(billed_hours(7200.0), 2);
         assert_eq!(billed_hours(0.0), 0);
+    }
+
+    #[test]
+    fn paid_through_marks_the_end_of_the_bought_hour() {
+        // One billed hour anchored at t=180 is paid through t=3780 …
+        assert_eq!(paid_through(180.0, 1), 3_780.0);
+        // … and the marginal cost of any release inside that window is 0:
+        assert_eq!(billed_hours(3_780.0 - 180.0), 1);
+        // Nothing billed yet means nothing is paid beyond the anchor.
+        assert_eq!(paid_through(42.0, 0), 42.0);
+        assert_eq!(paid_through(0.0, 3), 10_800.0);
     }
 
     #[test]

@@ -45,7 +45,7 @@ mod storage;
 mod transfer;
 mod types;
 
-pub use billing::{billed_hours, BillingLedger, InstanceBill};
+pub use billing::{billed_hours, paid_through, BillingLedger, InstanceBill};
 pub use bonnie::{
     acquire_good_instance, run_bonnie, run_bonnie_at, run_disk_probe_at, screen_at, BonnieReport,
     ScreeningPolicy,

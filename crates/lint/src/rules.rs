@@ -76,12 +76,20 @@ const DETERMINISM_SENSITIVE: &[&str] = &[
     "corpus",
     "ec2sim",
     "obs",
+    "sched",
 ];
 
 /// Crates where wall-clock reads would poison model fits and plans —
 /// including the simulator, whose clock is simulated seconds and whose
 /// fault schedules must replay bit-for-bit.
-const CLOCK_FREE: &[&str] = &["binpack", "ec2sim", "obs", "perfmodel", "provision"];
+const CLOCK_FREE: &[&str] = &[
+    "binpack",
+    "ec2sim",
+    "obs",
+    "perfmodel",
+    "provision",
+    "sched",
+];
 
 /// Crates doing byte accounting where a narrowing cast silently corrupts.
 const BYTE_ACCOUNTING: &[&str] = &["binpack", "corpus"];

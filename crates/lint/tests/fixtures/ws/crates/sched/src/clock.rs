@@ -1,0 +1,7 @@
+//! Fixture: the scheduler runs entirely on the simulated clock — a
+//! wall-clock read here would desynchronise replayed traces, so RL005
+//! fires.
+
+pub fn dispatch_stamp() -> std::time::Instant {
+    std::time::Instant::now()
+}

@@ -35,6 +35,7 @@ fn fixture_findings_match_golden_list() {
         ("crates/ec2sim/src/map.rs", 4, "RL003"),
         ("crates/obs/src/clock.rs", 5, "RL005"),
         ("crates/provision/src/clock.rs", 4, "RL005"),
+        ("crates/sched/src/clock.rs", 6, "RL005"),
         ("src/lib.rs", 4, "RL002"),
     ];
     let actual: Vec<(String, usize, String)> = report()
@@ -104,7 +105,7 @@ fn exempt_locations_stay_silent() {
 fn json_report_is_well_formed() {
     let json = report().to_json();
     assert!(json.contains("\"schema\": \"reshape-lint/1\""));
-    assert!(json.contains("\"errors\": 17"));
+    assert!(json.contains("\"errors\": 18"));
     assert!(json.contains("\"suppressed\": 1"));
     // Deterministic: a second render is byte-identical.
     assert_eq!(json, report().to_json());

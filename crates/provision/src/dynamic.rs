@@ -37,6 +37,61 @@ impl Default for DynamicConfig {
     }
 }
 
+impl DynamicConfig {
+    /// Check the monitor parameters make sense: a share must split into at
+    /// least one batch (zero would divide the share into nothing and stall
+    /// the run), and the slowdown threshold must be a positive multiplier
+    /// (zero or negative would replace every instance on every batch, NaN
+    /// would never replace any).
+    pub fn validate(&self) -> Result<(), DynamicError> {
+        if self.batches < 1 || self.slowdown_threshold.is_nan() || self.slowdown_threshold <= 0.0 {
+            return Err(DynamicError::InvalidConfig {
+                batches: self.batches,
+                slowdown_threshold: self.slowdown_threshold,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Why a dynamic execution could not run (or died mid-run).
+#[derive(Debug, Clone, PartialEq)]
+pub enum DynamicError {
+    /// The monitor parameters were rejected by [`DynamicConfig::validate`].
+    InvalidConfig {
+        /// The offending batch count.
+        batches: usize,
+        /// The offending threshold.
+        slowdown_threshold: f64,
+    },
+    /// The simulated cloud failed underneath the monitor.
+    Cloud(CloudError),
+}
+
+impl From<CloudError> for DynamicError {
+    fn from(e: CloudError) -> Self {
+        DynamicError::Cloud(e)
+    }
+}
+
+impl std::fmt::Display for DynamicError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DynamicError::InvalidConfig {
+                batches,
+                slowdown_threshold,
+            } => write!(
+                f,
+                "invalid DynamicConfig: batches = {batches} (need >= 1), \
+                 slowdown_threshold = {slowdown_threshold} (need > 0)"
+            ),
+            DynamicError::Cloud(e) => write!(f, "cloud error during dynamic execution: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DynamicError {}
+
 /// Outcome of a dynamic execution.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DynamicReport {
@@ -57,8 +112,8 @@ pub fn execute_dynamic(
     fit: &Fit,
     cfg: &ExecutionConfig,
     dyn_cfg: &DynamicConfig,
-) -> Result<DynamicReport, CloudError> {
-    assert!(dyn_cfg.batches >= 1, "need at least one batch");
+) -> Result<DynamicReport, DynamicError> {
+    dyn_cfg.validate()?;
     let attach = cloud.config().attach_overhead_s;
     let mut runs = Vec::with_capacity(plan.instance_count());
     let mut replacements_total = 0usize;
@@ -191,6 +246,52 @@ mod tests {
         let batches = split_batches(&files, 5);
         let total: usize = batches.iter().map(|b| b.len()).sum();
         assert_eq!(total, 2);
+    }
+
+    /// Regression: `batches: 0` used to hit `assert!` (and, before that,
+    /// `split_batches` would divide by zero) — it must now come back as a
+    /// typed validation error without touching the cloud.
+    #[test]
+    fn zero_batches_is_rejected_not_a_panic() {
+        let mut cloud = Cloud::new(CloudConfig::ideal(7));
+        let m = grep_fit();
+        let files = corpus_files(4, 100_000_000);
+        let plan = make_plan(Strategy::UniformBins, &files, &m, 30.0).unwrap();
+        let bad = DynamicConfig {
+            batches: 0,
+            ..DynamicConfig::default()
+        };
+        let err = execute_dynamic(
+            &mut cloud,
+            &plan,
+            &GrepCostModel::default(),
+            &m,
+            &ExecutionConfig::default(),
+            &bad,
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            DynamicError::InvalidConfig { batches: 0, .. }
+        ));
+        assert_eq!(cloud.now(), 0.0, "validation must run before any launch");
+    }
+
+    /// Regression: a non-positive (or NaN) slowdown threshold silently
+    /// produced nonsense monitoring decisions; it is now rejected.
+    #[test]
+    fn non_positive_threshold_is_rejected() {
+        for bad_threshold in [0.0, -1.5, f64::NAN] {
+            let cfg = DynamicConfig {
+                slowdown_threshold: bad_threshold,
+                ..DynamicConfig::default()
+            };
+            assert!(
+                matches!(cfg.validate(), Err(DynamicError::InvalidConfig { .. })),
+                "threshold {bad_threshold} must fail validation"
+            );
+        }
+        assert!(DynamicConfig::default().validate().is_ok());
     }
 
     #[test]

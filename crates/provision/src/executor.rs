@@ -96,9 +96,76 @@ impl ExecutionReport {
     }
 }
 
+/// Where the resilient executor gets its instances from and how billed
+/// hours are attributed to the share that used them.
+///
+/// [`FreshFleet`] reproduces the classic single-tenant behaviour (launch a
+/// fresh instance per share, terminate it when the share ends, bill every
+/// started hour of its span). A warm-instance pool — `sched::InstancePool`
+/// — keeps released instances alive through the hour they have already
+/// paid for and hands them to later shares at zero marginal cost.
+pub trait FleetSource {
+    /// Acquire an instance for one share. Returns the instance and the
+    /// simulated time at which it is ready to start work.
+    fn acquire(
+        &mut self,
+        cloud: &mut Cloud,
+        cfg: &ExecutionConfig,
+    ) -> Result<(InstanceId, f64), CloudError>;
+
+    /// Hand a live instance back after its share ended at `at` (`ready`
+    /// is the time the instance picked the share up). The source decides
+    /// whether to terminate or keep it warm; it returns the billed
+    /// instance-hours attributed to this share.
+    fn release(
+        &mut self,
+        cloud: &mut Cloud,
+        inst: InstanceId,
+        ready: f64,
+        at: f64,
+    ) -> Result<u64, CloudError>;
+
+    /// The cloud killed `inst` (crash or preemption) at `at`; it is
+    /// already terminated on the cloud side. Returns the billed hours
+    /// attributed to the doomed attempt.
+    fn lost(&mut self, cloud: &mut Cloud, inst: InstanceId, ready: f64, at: f64) -> u64;
+}
+
+/// The classic fleet source: a fresh (optionally screened) instance per
+/// share, terminated as soon as the share ends, billed for every started
+/// hour between ready and release.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FreshFleet;
+
+impl FleetSource for FreshFleet {
+    fn acquire(
+        &mut self,
+        cloud: &mut Cloud,
+        cfg: &ExecutionConfig,
+    ) -> Result<(InstanceId, f64), CloudError> {
+        acquire_instance(cloud, cfg)
+    }
+
+    fn release(
+        &mut self,
+        cloud: &mut Cloud,
+        inst: InstanceId,
+        ready: f64,
+        at: f64,
+    ) -> Result<u64, CloudError> {
+        cloud.terminate_at(inst, at)?;
+        Ok(instance_hours((at - ready).max(0.0)))
+    }
+
+    fn lost(&mut self, _cloud: &mut Cloud, _inst: InstanceId, ready: f64, at: f64) -> u64 {
+        instance_hours((at - ready).max(0.0))
+    }
+}
+
 /// Launch one fleet instance, optionally screening it with bonnie first
-/// (up to 16 candidates; rejects are terminated while still free).
-fn acquire_fleet_instance(
+/// (up to 16 candidates; rejects are terminated while still free). This is
+/// the cold path used by [`FreshFleet`] and by warm pools on a pool miss.
+pub fn acquire_instance(
     cloud: &mut Cloud,
     cfg: &ExecutionConfig,
 ) -> Result<(InstanceId, f64), CloudError> {
@@ -157,7 +224,7 @@ pub fn execute_plan_observed(
     let mut last_finish = phase_start;
     let phase = obs.span_start("pipeline.execute", phase_start);
     for share in &plan.instances {
-        let (inst, boot_done) = acquire_fleet_instance(cloud, cfg)?;
+        let (inst, boot_done) = acquire_instance(cloud, cfg)?;
         let span = obs.span_start("execute.share", boot_done);
         let (data, setup_secs) = match cfg.staging {
             StagingTier::Ebs => {
@@ -284,6 +351,10 @@ pub struct DegradedReport {
     pub lost_bytes: u64,
     /// Fault events that actually fired in the cloud.
     pub faults_fired: usize,
+    /// Simulated time the last share finished or gave up; equal to the
+    /// phase start when the plan is empty. Schedulers use this as the
+    /// job's completion instant on the shared clock.
+    pub finished_at: f64,
 }
 
 impl DegradedReport {
@@ -305,18 +376,19 @@ impl DegradedReport {
 /// Acquisition wrapper for faulty clouds: an instance lost while booting
 /// or during its bonnie screen is simply replaced (bounded, so a plan
 /// that crashes every ordinal still terminates).
-fn acquire_fleet_instance_resilient(
+fn acquire_resilient(
+    source: &mut dyn FleetSource,
     cloud: &mut Cloud,
     cfg: &ExecutionConfig,
 ) -> Result<(InstanceId, f64), CloudError> {
-    let mut outcome = acquire_fleet_instance(cloud, cfg);
+    let mut outcome = source.acquire(cloud, cfg);
     for _ in 0..16 {
         match outcome {
             Ok(ok) => return Ok(ok),
             Err(ref e) if e.is_instance_loss() => {}
             Err(e) => return Err(e),
         }
-        outcome = acquire_fleet_instance(cloud, cfg);
+        outcome = source.acquire(cloud, cfg);
     }
     outcome
 }
@@ -362,6 +434,24 @@ pub fn execute_plan_resilient_observed(
     retry: &RetryPolicy,
     obs: &Obs,
 ) -> Result<DegradedReport, CloudError> {
+    execute_plan_resilient_sourced(cloud, plan, model, cfg, retry, &mut FreshFleet, obs)
+}
+
+/// [`execute_plan_resilient_observed`] generalized over where instances
+/// come from: every acquisition, release, and loss goes through the given
+/// [`FleetSource`], which also attributes billed hours. With
+/// [`FreshFleet`] this is exactly `execute_plan_resilient_observed`; with
+/// a warm pool, shares land on instances whose current billed hour is
+/// already paid whenever one is free.
+pub fn execute_plan_resilient_sourced(
+    cloud: &mut Cloud,
+    plan: &Plan,
+    model: &dyn AppCostModel,
+    cfg: &ExecutionConfig,
+    retry: &RetryPolicy,
+    source: &mut dyn FleetSource,
+    obs: &Obs,
+) -> Result<DegradedReport, CloudError> {
     let mut rng = StdRng::seed_from_u64(retry.seed ^ 0xBACC_0FF5);
     let attach = cloud.config().attach_overhead_s;
     let mut runs = Vec::with_capacity(plan.instance_count());
@@ -379,7 +469,7 @@ pub fn execute_plan_resilient_observed(
     let phase = obs.span_start("pipeline.execute", phase_start);
 
     for (idx, share) in plan.instances.iter().enumerate() {
-        let (mut inst, mut ready) = acquire_fleet_instance_resilient(cloud, cfg)?;
+        let (mut inst, mut ready) = acquire_resilient(source, cloud, cfg)?;
         let first_ready = ready;
         let span = obs.span_start("execute.share", first_ready);
         // A persistent EBS volume survives instance loss and re-attaches
@@ -429,15 +519,13 @@ pub fn execute_plan_resilient_observed(
             };
             if gave_up {
                 // The instance is alive but the share is stuck; release it.
-                cloud.terminate_at(inst, t)?;
-                hours += instance_hours((t - ready).max(0.0));
+                hours += source.release(cloud, inst, ready, t)?;
                 break AttemptEnd::GaveUp(t);
             }
             if lost.is_none() {
                 match cloud.submit_job(inst, model, &share.files, data, t) {
                     Ok(report) => {
-                        cloud.terminate_at(inst, report.finished_at)?;
-                        hours += instance_hours((report.finished_at - ready).max(0.0));
+                        hours += source.release(cloud, inst, ready, report.finished_at)?;
                         break AttemptEnd::Done(report);
                     }
                     Err(e) if e.is_instance_loss() => lost = Some(e),
@@ -455,14 +543,14 @@ pub fn execute_plan_resilient_observed(
                 obs.count("execute.crashes", 1);
             }
             let t_dead = cloud.crash_time(inst).unwrap_or(t).max(ready);
-            hours += instance_hours((t_dead - ready).max(0.0));
+            hours += source.lost(cloud, inst, ready, t_dead);
             if share_replacements >= retry.max_replacements {
                 break AttemptEnd::GaveUp(t_dead);
             }
             share_replacements += 1;
             replacements += 1;
             obs.count("execute.replacements", 1);
-            let (new_inst, new_ready) = acquire_fleet_instance_resilient(cloud, cfg)?;
+            let (new_inst, new_ready) = acquire_resilient(source, cloud, cfg)?;
             inst = new_inst;
             // The replacement cannot pick the work up before the loss.
             ready = new_ready.max(t_dead);
@@ -527,6 +615,7 @@ pub fn execute_plan_resilient_observed(
         recovered_bytes,
         lost_bytes,
         faults_fired: cloud.fault_log().len(),
+        finished_at: last_finish,
     })
 }
 

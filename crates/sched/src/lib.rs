@@ -1,0 +1,42 @@
+//! Deterministic multi-tenant scheduling on the simulated cloud.
+//!
+//! Every layer below this one serves exactly one workload at a time; this
+//! crate turns the reproduction into the production system the paper
+//! gestures at: many tenants submitting deadline-bound text-processing
+//! jobs against one shared EC2 account. Three mechanisms, all running
+//! entirely on the simulated clock (RL005-clean — no wall time anywhere):
+//!
+//! * **Admission control** ([`admission`]) — each arriving job's fitted
+//!   performance model is inverted against the *adjusted* deadline
+//!   `D′ = D/(1+a)` (paper §5.2) to size its fleet; jobs whose deadline
+//!   sits below the model's fixed costs, whose model cannot be inverted,
+//!   or whose fleet exceeds the pool are rejected with typed reasons.
+//! * **EDF/priority dispatch** ([`dispatch`]) — admitted jobs queue and
+//!   dispatch highest-priority-first, earliest-absolute-deadline-first,
+//!   over a discrete-event loop whose only events are arrivals and job
+//!   completions.
+//! * **A warm-instance pool** ([`pool`]) — the paper's flat `r·⌈hours⌉`
+//!   pricing (§4) makes cross-tenant reuse economically exact: an
+//!   instance paid through the end of its hour is free capacity for
+//!   anyone else's bins, so released instances stay warm until their
+//!   bought hour runs out and only *marginal* hours are ever billed.
+//!
+//! Jobs execute through [`provision::execute_plan_resilient_sourced`], so
+//! injected faults, preemptions and whole-bin requeues behave exactly as
+//! in the single-tenant executor, and every job and pool transition emits
+//! [`obs`] spans/counters — the same seed and trace produce a
+//! byte-identical NDJSON event log.
+
+#![forbid(unsafe_code)]
+
+pub mod admission;
+pub mod dispatch;
+pub mod job;
+pub mod pool;
+pub mod report;
+
+pub use admission::{admit, Admission, DeferReason, RejectReason};
+pub use dispatch::{run_trace, SchedConfig, SchedError};
+pub use job::{reference_fit, AppFits, ArrivalTrace, Job, TenantId, TraceConfig};
+pub use pool::{InstancePool, PoolConfig, PoolStats};
+pub use report::{JobOutcome, JobStatus, SchedReport, TenantAccount};

@@ -1,0 +1,365 @@
+//! The shared warm-instance pool.
+//!
+//! Flat hourly billing (`r·⌈hours⌉`, paper §4) means an instance released
+//! mid-hour has *already paid* for the rest of that hour. Instead of
+//! terminating it, the pool keeps it warm: any tenant's next share may
+//! reuse it until the bought hour runs out, paying only the **marginal**
+//! hours its own work adds beyond what earlier shares already bought. A
+//! share that fits entirely inside the paid window costs zero — and skips
+//! the boot latency too.
+//!
+//! Accounting invariant: the marginal hours attributed across all shares
+//! that touched an instance sum exactly to `⌈(last_release − anchor)/h⌉`,
+//! the bill the cloud would charge for that instance — attribution never
+//! creates or loses hours. And per share, the marginal cost is never more
+//! than what a fresh instance would have billed for the same span, which
+//! is why pooled scheduling can only save money (see the property test).
+
+use ec2sim::{paid_through, Cloud, CloudError, InstanceId};
+use obs::Obs;
+use provision::{acquire_instance, instance_hours, ExecutionConfig, FleetSource};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Pool sizing and policy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PoolConfig {
+    /// Maximum concurrently live instances the pool will hold (committed
+    /// plus warm). Keep below the cloud's `instance_cap`.
+    pub capacity: usize,
+    /// Keep released instances warm through their paid hour. `false`
+    /// degenerates to per-share fresh fleets (useful as a baseline).
+    pub warm_reuse: bool,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig {
+            capacity: 48,
+            warm_reuse: true,
+        }
+    }
+}
+
+/// Reuse and attribution counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct PoolStats {
+    /// Instances launched cold.
+    pub cold_launches: u64,
+    /// Shares served by a warm instance inside its paid hour.
+    pub warm_hits: u64,
+    /// Warm instances terminated because their paid hour ran out.
+    pub expired: u64,
+    /// Total marginal instance-hours attributed through the pool.
+    pub billed_hours: u64,
+}
+
+/// One live instance the pool knows about.
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    inst: InstanceId,
+    /// Billing anchor: the time this instance first became ready.
+    anchor: f64,
+    /// Hours already attributed to shares that used this instance.
+    attributed_hours: u64,
+    /// When its current share ends (or ended).
+    free_at: f64,
+    /// Currently executing a share.
+    busy: bool,
+}
+
+impl Slot {
+    /// End of the window this instance has already paid for.
+    fn paid_until(&self) -> f64 {
+        paid_through(self.anchor, self.attributed_hours)
+    }
+}
+
+/// The shared pool. Implements [`FleetSource`], so
+/// [`provision::execute_plan_resilient_sourced`] draws every share's
+/// instance from here — warm when possible, cold otherwise — and the
+/// pool attributes marginal hours back to the share.
+#[derive(Debug)]
+pub struct InstancePool {
+    cfg: PoolConfig,
+    /// Keyed by raw instance id for a deterministic smallest-id-first
+    /// warm pick.
+    slots: BTreeMap<u64, Slot>,
+    stats: PoolStats,
+    obs: Obs,
+}
+
+impl InstancePool {
+    /// A fresh, empty pool.
+    pub fn new(cfg: PoolConfig, obs: Obs) -> Self {
+        InstancePool {
+            cfg,
+            slots: BTreeMap::new(),
+            stats: PoolStats::default(),
+            obs,
+        }
+    }
+
+    /// The pool's configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.cfg.capacity
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> PoolStats {
+        self.stats
+    }
+
+    /// Live instances (busy, committed or warm).
+    pub fn live(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Slots free for a dispatch at time `now`: capacity minus instances
+    /// that are busy or whose current share ends in the future. Warm idle
+    /// instances do not count against capacity — a dispatch will reuse
+    /// them before launching cold.
+    pub fn free_capacity(&self, now: f64) -> usize {
+        let committed = self
+            .slots
+            .values()
+            .filter(|s| s.busy || s.free_at > now)
+            .count();
+        self.cfg.capacity.saturating_sub(committed)
+    }
+
+    /// Terminate warm instances whose paid hour ran out by `now`. Their
+    /// termination is backdated to the end of the bought window, so
+    /// expiry never adds billed hours.
+    pub fn expire_until(&mut self, cloud: &mut Cloud, now: f64) -> Result<(), CloudError> {
+        let expired: Vec<u64> = self
+            .slots
+            .iter()
+            .filter(|(_, s)| !s.busy && s.free_at <= now && s.paid_until() <= now)
+            .map(|(&k, _)| k)
+            .collect();
+        for k in expired {
+            if let Some(slot) = self.slots.remove(&k) {
+                cloud.terminate_at(slot.inst, slot.paid_until().max(slot.free_at))?;
+                self.stats.expired += 1;
+                self.obs.count("sched.pool.expired", 1);
+            }
+        }
+        Ok(())
+    }
+
+    /// Terminate everything still warm (end of trace). Backdated to each
+    /// instance's paid window, so draining is free.
+    pub fn drain(&mut self, cloud: &mut Cloud) -> Result<(), CloudError> {
+        let keys: Vec<u64> = self.slots.keys().copied().collect();
+        for k in keys {
+            if let Some(slot) = self.slots.remove(&k) {
+                cloud.terminate_at(slot.inst, slot.paid_until().max(slot.free_at))?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Attribute the hours `span` adds beyond what is already bought on
+    /// this slot, and advance the slot's attribution watermark.
+    fn marginal(slot: &mut Slot, at: f64) -> u64 {
+        let total = instance_hours((at - slot.anchor).max(0.0)).max(slot.attributed_hours);
+        let marginal = total - slot.attributed_hours;
+        slot.attributed_hours = total;
+        marginal
+    }
+}
+
+impl FleetSource for InstancePool {
+    fn acquire(
+        &mut self,
+        cloud: &mut Cloud,
+        cfg: &ExecutionConfig,
+    ) -> Result<(InstanceId, f64), CloudError> {
+        let now = cloud.now();
+        if self.cfg.warm_reuse {
+            let warm = self
+                .slots
+                .iter()
+                .find(|(_, s)| !s.busy && s.free_at <= now && s.paid_until() > now)
+                .map(|(&k, _)| k);
+            if let Some(k) = warm {
+                if let Some(slot) = self.slots.get_mut(&k) {
+                    slot.busy = true;
+                    self.stats.warm_hits += 1;
+                    self.obs.count("sched.pool.warm_hits", 1);
+                    // Ready immediately: it is already booted and running.
+                    return Ok((slot.inst, now));
+                }
+            }
+        }
+        let (inst, ready) = acquire_instance(cloud, cfg)?;
+        self.slots.insert(
+            inst.0,
+            Slot {
+                inst,
+                anchor: ready,
+                attributed_hours: 0,
+                free_at: ready,
+                busy: true,
+            },
+        );
+        self.stats.cold_launches += 1;
+        self.obs.count("sched.pool.cold_launches", 1);
+        Ok((inst, ready))
+    }
+
+    fn release(
+        &mut self,
+        cloud: &mut Cloud,
+        inst: InstanceId,
+        ready: f64,
+        at: f64,
+    ) -> Result<u64, CloudError> {
+        let Some(slot) = self.slots.get_mut(&inst.0) else {
+            // Unknown instance (should not happen): fall back to classic
+            // terminate-and-bill so nothing leaks.
+            cloud.terminate_at(inst, at)?;
+            return Ok(instance_hours((at - ready).max(0.0)));
+        };
+        let marginal = Self::marginal(slot, at);
+        slot.free_at = at;
+        slot.busy = false;
+        self.stats.billed_hours += marginal;
+        Ok(marginal)
+    }
+
+    fn lost(&mut self, _cloud: &mut Cloud, inst: InstanceId, ready: f64, at: f64) -> u64 {
+        match self.slots.remove(&inst.0) {
+            Some(mut slot) => {
+                let marginal = Self::marginal(&mut slot, at);
+                self.stats.billed_hours += marginal;
+                marginal
+            }
+            // Lost before the pool ever tracked it (screen-phase loss).
+            None => instance_hours((at - ready).max(0.0)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ec2sim::CloudConfig;
+    use provision::StagingTier;
+
+    fn exec_cfg() -> ExecutionConfig {
+        ExecutionConfig {
+            staging: StagingTier::Local,
+            ..ExecutionConfig::default()
+        }
+    }
+
+    fn pool_and_cloud() -> (InstancePool, Cloud) {
+        (
+            InstancePool::new(PoolConfig::default(), Obs::default()),
+            Cloud::new(CloudConfig::ideal(1)),
+        )
+    }
+
+    #[test]
+    fn reuse_inside_paid_hour_is_free() {
+        let (mut pool, mut cloud) = pool_and_cloud();
+        let cfg = exec_cfg();
+        let (inst, ready) = pool.acquire(&mut cloud, &cfg).unwrap();
+        // First share: 10 minutes -> 1 marginal hour.
+        assert_eq!(
+            pool.release(&mut cloud, inst, ready, ready + 600.0)
+                .unwrap(),
+            1
+        );
+        // Second share starts inside the paid hour…
+        cloud.advance(700.0);
+        let (inst2, ready2) = pool.acquire(&mut cloud, &cfg).unwrap();
+        assert_eq!(inst2, inst, "must reuse the warm instance");
+        assert_eq!(ready2, cloud.now(), "warm instances skip boot");
+        // …and ends inside it too: zero marginal hours.
+        assert_eq!(
+            pool.release(&mut cloud, inst2, ready2, ready2 + 900.0)
+                .unwrap(),
+            0
+        );
+        assert_eq!(pool.stats().warm_hits, 1);
+        assert_eq!(pool.stats().billed_hours, 1);
+    }
+
+    #[test]
+    fn crossing_the_hour_bills_only_the_extra_hours() {
+        let (mut pool, mut cloud) = pool_and_cloud();
+        let cfg = exec_cfg();
+        let (inst, ready) = pool.acquire(&mut cloud, &cfg).unwrap();
+        assert_eq!(
+            pool.release(&mut cloud, inst, ready, ready + 600.0)
+                .unwrap(),
+            1
+        );
+        cloud.advance(700.0);
+        let (inst2, start) = pool.acquire(&mut cloud, &cfg).unwrap();
+        assert_eq!(inst2, inst);
+        // Runs 2 h past the anchor: total ⌈2.2h⌉ = 3, already paid 1 -> 2.
+        assert_eq!(
+            pool.release(&mut cloud, inst2, start, ready + 7_300.0)
+                .unwrap(),
+            2
+        );
+        assert_eq!(pool.stats().billed_hours, 3);
+    }
+
+    #[test]
+    fn expired_warm_instances_are_terminated_and_not_reused() {
+        let (mut pool, mut cloud) = pool_and_cloud();
+        let cfg = exec_cfg();
+        let (inst, ready) = pool.acquire(&mut cloud, &cfg).unwrap();
+        pool.release(&mut cloud, inst, ready, ready + 60.0).unwrap();
+        // Beyond the paid hour: expiry terminates it (backdated, free)…
+        cloud.advance(4_000.0);
+        let now = cloud.now();
+        pool.expire_until(&mut cloud, now).unwrap();
+        assert_eq!(pool.stats().expired, 1);
+        assert_eq!(pool.live(), 0);
+        // …and the next acquire launches cold.
+        let (inst2, _) = pool.acquire(&mut cloud, &cfg).unwrap();
+        assert_ne!(inst2, inst);
+        assert_eq!(pool.stats().cold_launches, 2);
+    }
+
+    #[test]
+    fn future_free_instances_count_as_committed() {
+        let (mut pool, mut cloud) = pool_and_cloud();
+        let cfg = exec_cfg();
+        let cap = pool.capacity();
+        let (inst, ready) = pool.acquire(&mut cloud, &cfg).unwrap();
+        // Released at a *future* simulated time: busy until then.
+        pool.release(&mut cloud, inst, ready, ready + 500.0)
+            .unwrap();
+        assert_eq!(pool.free_capacity(cloud.now()), cap - 1);
+        assert_eq!(pool.free_capacity(ready + 500.0), cap);
+        // Not warm yet either: an acquire now must go cold.
+        let (inst2, _) = pool.acquire(&mut cloud, &cfg).unwrap();
+        assert_ne!(inst2, inst);
+    }
+
+    #[test]
+    fn disabled_reuse_always_launches_cold() {
+        let mut pool = InstancePool::new(
+            PoolConfig {
+                warm_reuse: false,
+                ..PoolConfig::default()
+            },
+            Obs::default(),
+        );
+        let mut cloud = Cloud::new(CloudConfig::ideal(2));
+        let cfg = exec_cfg();
+        let (inst, ready) = pool.acquire(&mut cloud, &cfg).unwrap();
+        pool.release(&mut cloud, inst, ready, ready + 60.0).unwrap();
+        cloud.advance(120.0);
+        let (inst2, _) = pool.acquire(&mut cloud, &cfg).unwrap();
+        assert_ne!(inst2, inst);
+        assert_eq!(pool.stats().warm_hits, 0);
+    }
+}

@@ -1,0 +1,142 @@
+//! Per-job and per-tenant accounting.
+
+use crate::admission::{Admission, DeferReason};
+use crate::job::TenantId;
+use crate::pool::PoolStats;
+use serde::{Deserialize, Serialize};
+
+/// How a job ended.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum JobStatus {
+    /// Every share completed.
+    Completed,
+    /// Ran, but some shares exhausted retries/replacements — bytes lost.
+    Degraded,
+    /// Turned away at admission; never ran.
+    Rejected,
+}
+
+/// The full record of one job's passage through the scheduler.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobOutcome {
+    /// Trace id.
+    pub job_id: u64,
+    /// Owner.
+    pub tenant: TenantId,
+    /// The admission verdict (with fleet size and adjusted deadline when
+    /// accepted).
+    pub admission: Admission,
+    /// Terminal status.
+    pub status: JobStatus,
+    /// Times this job was passed over while queued.
+    pub deferrals: u64,
+    /// The last reason it waited, if it ever did.
+    pub last_defer: Option<DeferReason>,
+    /// Queue wait: dispatch − arrival, seconds (0 when rejected).
+    pub wait_secs: f64,
+    /// Simulated completion time (arrival time when rejected).
+    pub finished_at: f64,
+    /// Finished by its absolute deadline with no lost bytes.
+    pub met_deadline: bool,
+    /// Marginal instance-hours attributed to this job.
+    pub billed_hours: u64,
+    /// Simulated seconds its shares actively used instances.
+    pub busy_secs: f64,
+    /// Bytes never processed (degraded jobs).
+    pub lost_bytes: u64,
+}
+
+/// One tenant's aggregate account over the trace.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TenantAccount {
+    /// Tenant.
+    pub tenant: TenantId,
+    /// Jobs submitted.
+    pub submitted: u64,
+    /// Jobs that ran to (possibly degraded) completion.
+    pub completed: u64,
+    /// Jobs rejected at admission.
+    pub rejected: u64,
+    /// Completed jobs that missed their deadline (or lost bytes).
+    pub misses: u64,
+    /// Total deferral events suffered while queued (fairness signal).
+    pub deferrals: u64,
+    /// Marginal instance-hours attributed to this tenant.
+    pub billed_hours: u64,
+    /// Dollars at the execution config's hourly rate.
+    pub cost: f64,
+    /// Simulated instance-seconds actually used.
+    pub busy_secs: f64,
+    /// Total queue wait, seconds.
+    pub wait_secs: f64,
+    /// Bytes processed for this tenant.
+    pub bytes: u64,
+}
+
+impl TenantAccount {
+    /// A zeroed account for `tenant`.
+    pub fn new(tenant: TenantId) -> Self {
+        TenantAccount {
+            tenant,
+            submitted: 0,
+            completed: 0,
+            rejected: 0,
+            misses: 0,
+            deferrals: 0,
+            billed_hours: 0,
+            cost: 0.0,
+            busy_secs: 0.0,
+            wait_secs: 0.0,
+            bytes: 0,
+        }
+    }
+
+    /// Misses over completed jobs.
+    pub fn miss_rate(&self) -> f64 {
+        if self.completed == 0 {
+            return 0.0;
+        }
+        self.misses as f64 / self.completed as f64
+    }
+}
+
+/// The fleet-level result of running a trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SchedReport {
+    /// Per-job records, in trace order.
+    pub jobs: Vec<JobOutcome>,
+    /// Per-tenant accounts, sorted by tenant id.
+    pub tenants: Vec<TenantAccount>,
+    /// Pool reuse counters.
+    pub pool: PoolStats,
+    /// Total marginal instance-hours billed across the pool.
+    pub total_billed_hours: u64,
+    /// Dollars at the execution config's hourly rate.
+    pub total_cost: f64,
+    /// Last simulated completion time, seconds.
+    pub makespan_secs: f64,
+    /// Jobs that ran to completion (including degraded).
+    pub completed: usize,
+    /// Jobs rejected at admission.
+    pub rejected: usize,
+    /// Completed jobs that missed their deadline or lost bytes.
+    pub missed: usize,
+}
+
+impl SchedReport {
+    /// Completed jobs per simulated hour of makespan.
+    pub fn jobs_per_hour(&self) -> f64 {
+        if self.makespan_secs <= 0.0 {
+            return 0.0;
+        }
+        self.completed as f64 / (self.makespan_secs / 3_600.0)
+    }
+
+    /// Misses over completed jobs.
+    pub fn miss_rate(&self) -> f64 {
+        if self.completed == 0 {
+            return 0.0;
+        }
+        self.missed as f64 / self.completed as f64
+    }
+}

@@ -40,6 +40,10 @@ if [[ $fast -eq 0 ]]; then
   # per-phase breakdown CI uploads.
   echo "==> obs report (writes results/OBS_phase_breakdown.json)"
   SMOKE=1 cargo run --release -q -p bench --bin obs_report
+  # Scheduler smoke: re-runs the pooled trace asserting byte-identical
+  # same-seed logs, then persists the throughput/savings report CI uploads.
+  echo "==> sched report (writes results/SCHED_throughput.json)"
+  SMOKE=1 cargo run --release -q -p bench --bin sched_report
 fi
 
 echo "verify: OK"

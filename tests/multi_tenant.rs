@@ -1,0 +1,136 @@
+//! Multi-tenant scheduler acceptance tests (ISSUE 5):
+//!
+//! 1. **Determinism** — the same arrival trace + seed produce a
+//!    byte-identical NDJSON event log and a `PartialEq`-equal scheduler
+//!    report, both fault-free and under a non-empty `FaultPlan`.
+//! 2. **Integration** — jobs run through the resilient executor, so an
+//!    injected fault schedule surfaces as requeues/degradation in the
+//!    fleet report, never as nondeterminism.
+
+use ec2sim::{CloudConfig, FaultConfig, FaultPlan};
+use obs::Obs;
+use reshape::{run_multi_tenant, MultiTenantConfig};
+use sched::{run_trace, SchedConfig, SchedReport, TraceConfig};
+
+fn trace_config(seed: u64) -> TraceConfig {
+    TraceConfig {
+        jobs: 24,
+        seed,
+        ..TraceConfig::default()
+    }
+}
+
+fn sched_config(seed: u64, faults: Option<FaultConfig>) -> SchedConfig {
+    SchedConfig {
+        cloud: CloudConfig {
+            homogeneous: true,
+            ..CloudConfig::default()
+        },
+        faults,
+        ..SchedConfig::default()
+    }
+    .with_cloud_seed(seed)
+}
+
+trait WithSeed {
+    fn with_cloud_seed(self, seed: u64) -> Self;
+}
+
+impl WithSeed for SchedConfig {
+    fn with_cloud_seed(mut self, seed: u64) -> Self {
+        self.cloud.seed = seed;
+        self
+    }
+}
+
+fn fault_schedule() -> FaultConfig {
+    FaultConfig {
+        horizon_secs: 4_000.0,
+        first_instance: 0,
+        instances: 64,
+        first_volume: 0,
+        volumes: 64,
+        crash_prob: 0.25,
+        preemption_prob: 0.1,
+        boot_delay_prob: 0.3,
+        attach_failure_prob: 0.2,
+        ..FaultConfig::default()
+    }
+}
+
+/// One run with a fresh recording sink: returns the report and its log.
+fn run_logged(seed: u64, faults: Option<FaultConfig>) -> (SchedReport, String) {
+    let sink = Obs::recording(seed);
+    let mut cfg = sched_config(seed, faults);
+    cfg.obs = sink.clone();
+    let trace = trace_config(seed).generate();
+    let report = run_trace(&cfg, &trace).expect("scheduling run");
+    (report, sink.to_ndjson())
+}
+
+#[test]
+fn same_seed_byte_identical_log_and_equal_report_fault_free() {
+    let (report_a, log_a) = run_logged(42, None);
+    let (report_b, log_b) = run_logged(42, None);
+    assert!(!log_a.is_empty(), "recording run produced no events");
+    assert_eq!(
+        log_a, log_b,
+        "fault-free NDJSON logs must be byte-identical"
+    );
+    assert_eq!(report_a, report_b, "fault-free reports must be equal");
+    assert!(
+        log_a.contains("sched.run") && log_a.contains("sched.job"),
+        "log must carry scheduler spans"
+    );
+    assert!(
+        log_a.contains("sched.pool.cold_launches"),
+        "log must carry pool counters"
+    );
+}
+
+#[test]
+fn same_seed_byte_identical_log_and_equal_report_under_faults() {
+    let plan = FaultPlan::generate(42, &fault_schedule());
+    assert!(!plan.is_empty(), "fault schedule must be non-empty");
+    let (report_a, log_a) = run_logged(42, Some(fault_schedule()));
+    let (report_b, log_b) = run_logged(42, Some(fault_schedule()));
+    assert_eq!(log_a, log_b, "faulty NDJSON logs must be byte-identical");
+    assert_eq!(report_a, report_b, "faulty reports must be equal");
+    // The fault schedule must actually have touched the run: the resilient
+    // executor's recovery counters show up in the log.
+    assert!(
+        log_a.contains("execute.crashes")
+            || log_a.contains("execute.preemptions")
+            || log_a.contains("execute.transient_retries")
+            || log_a.contains("execute.replacements"),
+        "expected recovery events in the faulty log"
+    );
+}
+
+#[test]
+fn faulty_and_clean_runs_differ_but_jobs_still_account() {
+    let (clean, _) = run_logged(7, None);
+    let (faulty, _) = run_logged(7, Some(fault_schedule()));
+    assert_eq!(clean.jobs.len(), faulty.jobs.len());
+    // Faults cost time and/or hours somewhere.
+    assert_ne!(
+        clean, faulty,
+        "an aggressive fault plan must perturb the run"
+    );
+    // Accounting still adds up under faults.
+    let tenant_hours: u64 = faulty.tenants.iter().map(|t| t.billed_hours).sum();
+    assert_eq!(tenant_hours, faulty.total_billed_hours);
+    assert_eq!(faulty.pool.billed_hours, faulty.total_billed_hours);
+}
+
+#[test]
+fn core_entrypoint_is_reproducible_end_to_end() {
+    let cfg = MultiTenantConfig {
+        trace: trace_config(3),
+        sched: sched_config(3, None),
+    };
+    let (trace_a, report_a) = run_multi_tenant(&cfg).expect("a");
+    let (trace_b, report_b) = run_multi_tenant(&cfg).expect("b");
+    assert_eq!(trace_a, trace_b);
+    assert_eq!(report_a, report_b);
+}

@@ -18,6 +18,25 @@
 //! * [`uniform_k_bins`][]: "least-loaded bin" pops from a min-heap keyed by
 //!   `(load, bin index)`. O(n·k) → O(n log k).
 //!
+//! # Memory discipline (the 18M-item hot loop)
+//!
+//! Every kernel runs in **two passes over an index arena** instead of
+//! growing per-bin `Vec`s inside the search loop:
+//!
+//! 1. the search pass records only `bin_of[position] -> bin index` (one
+//!    `u32` per item) and a per-bin item count — no `Bin` is materialized,
+//!    so the hot loop never reallocates;
+//! 2. a reconstruction pass allocates every bin's member vector at its
+//!    exact final length and fills it with a single in-order scan.
+//!
+//! The in-order scan reproduces the within-bin input ordering the naive
+//! kernels guarantee, which also removes the per-bin `sort` the previous
+//! subset-sum implementation needed. Together with the on-demand-grown
+//! segment tree (sized to *bins*, not items) this keeps the transient
+//! footprint at paper scale (18M items) to one `u32` per item plus the
+//! index structures, instead of ~1 GB of pre-sized tree and doubling bin
+//! vectors.
+//!
 //! Equivalence is pinned by differential property tests in
 //! `tests/properties.rs`, which compare against the retained naive
 //! implementations on randomized inputs including zero-size and oversize
@@ -31,21 +50,66 @@ use crate::item::{Bin, Item};
 use crate::pack::Packing;
 use crate::segtree::MaxSegTree;
 
+/// The arenas index items with `u32`, which comfortably covers the paper's
+/// 18M-file corpus while halving the assignment-table footprint.
+fn assert_indexable(n: usize) {
+    assert!(
+        n < u32::MAX as usize,
+        "packing arena supports at most {} items, got {n}",
+        u32::MAX
+    );
+}
+
+/// Narrowing index cast, sound because [`assert_indexable`] bounds every
+/// kernel's item and bin counts below `u32::MAX` on entry.
+#[inline]
+pub(crate) fn index_u32(i: usize) -> u32 {
+    i as u32 // lint:allow(RL006, bounded by assert_indexable at kernel entry)
+}
+
+/// Reconstruction pass: turn an assignment arena into bins. `counts[b]` is
+/// the final member count of bin `b`, so every member vector is allocated
+/// exactly once. Items are delivered in `placement` order, which callers
+/// choose as input order (first-fit family, subset-sum) or a sort order
+/// (first-fit decreasing).
+fn bins_from_assignment<'a>(
+    placement: impl Iterator<Item = (&'a Item, u32)>,
+    counts: &[u32],
+    capacity: u64,
+) -> Vec<Bin> {
+    let mut bins: Vec<Bin> = counts
+        .iter()
+        .map(|&c| Bin {
+            items: Vec::with_capacity(c as usize),
+            used: 0,
+            capacity,
+        })
+        .collect();
+    for (item, bin) in placement {
+        bins[bin as usize].push(*item);
+    }
+    bins
+}
+
 /// Pack `items` into bins of `capacity` using greedy subset-sum first fit.
 ///
 /// Semantics are identical to [`crate::naive_subset_sum_first_fit`]; see
 /// that function for the full contract (oversize handling, tie-breaking,
 /// within-bin ordering). This version indexes the open items in a sorted
-/// multiset so each "largest item that still fits" draw is one range lookup.
+/// multiset so each "largest item that still fits" draw is one range lookup,
+/// and records draws into the assignment arena — the final in-order
+/// reconstruction replaces the per-bin position sort of the reference.
 pub fn subset_sum_first_fit(items: &[Item], capacity: u64) -> Packing {
     assert!(capacity > 0, "bin capacity must be positive");
-    let mut bins: Vec<Bin> = Vec::new();
+    assert_indexable(items.len());
+    let mut bin_of: Vec<u32> = vec![0; items.len()];
+    let mut counts: Vec<u32> = Vec::new();
 
-    // Oversize items pass through untouched, in input order.
-    for &item in items.iter().filter(|i| i.size > capacity) {
-        let mut b = Bin::new(capacity);
-        b.push(item);
-        bins.push(b);
+    // Oversize items pass through untouched, in input order, ahead of every
+    // merged bin.
+    for (pos, _) in items.iter().enumerate().filter(|(_, i)| i.size > capacity) {
+        bin_of[pos] = index_u32(counts.len());
+        counts.push(1);
     }
 
     // Open items keyed by (size, Reverse(position)): the maximum key at or
@@ -59,7 +123,8 @@ pub fn subset_sum_first_fit(items: &[Item], capacity: u64) -> Packing {
         .collect();
 
     while !open.is_empty() {
-        let mut bin_members: Vec<usize> = Vec::new();
+        let bin = counts.len();
+        counts.push(0);
         let mut free = capacity;
         while free > 0 {
             let Some(&key) = open.range(..=(free, Reverse(0usize))).next_back() else {
@@ -68,20 +133,15 @@ pub fn subset_sum_first_fit(items: &[Item], capacity: u64) -> Packing {
             open.remove(&key);
             let (size, Reverse(pos)) = key;
             free -= size;
-            bin_members.push(pos);
+            bin_of[pos] = index_u32(bin);
+            counts[bin] += 1;
             if open.is_empty() {
                 break;
             }
         }
-        // Restore input order within the bin for stable concatenation.
-        bin_members.sort_unstable();
-        let mut b = Bin::new(capacity);
-        for pos in bin_members {
-            b.push(items[pos]);
-        }
-        bins.push(b);
     }
 
+    let bins = bins_from_assignment(items.iter().zip(bin_of.iter().copied()), &counts, capacity);
     let packing = Packing { bins, capacity };
     check::debug_check(items, &packing);
     packing
@@ -92,35 +152,62 @@ pub fn subset_sum_first_fit(items: &[Item], capacity: u64) -> Packing {
 /// Semantics are identical to [`crate::naive_first_fit`]: each item goes to
 /// the lowest-numbered open non-oversize bin with room, else a new bin
 /// opens; items larger than `capacity` get dedicated oversize bins at their
-/// arrival position. The segment tree keeps one slot per (potential) bin —
-/// key = free space, or [`INACTIVE`] for unopened and oversize slots — so
-/// the bin search is a single leftmost-at-least descent.
+/// arrival position. The segment tree keeps one slot per opened bin —
+/// key = free space, or [`INACTIVE`](crate::segtree::INACTIVE) for oversize
+/// slots — so the bin search is a single leftmost-at-least descent.
 pub fn first_fit(items: &[Item], capacity: u64) -> Packing {
+    assert_indexable(items.len());
+    let order: Vec<u32> = (0..index_u32(items.len())).collect();
+    first_fit_order(items, &order, capacity)
+}
+
+/// First fit with the placement order given as an index slice: equivalent
+/// to running [`first_fit`] over `order.map(|i| items[i])` without
+/// materializing the reordered item vector. Within-bin order is placement
+/// order. Used by [`crate::first_fit_decreasing`], which passes a
+/// size-sorted index slice instead of cloning and sorting the items.
+pub(crate) fn first_fit_order(items: &[Item], order: &[u32], capacity: u64) -> Packing {
     assert!(capacity > 0, "bin capacity must be positive");
-    let mut bins: Vec<Bin> = Vec::new();
-    let mut tree = MaxSegTree::new(items.len());
-    for &item in items {
+    assert_indexable(items.len());
+    // seq[k] = the bin receiving the k-th placed item (order[k]).
+    let mut seq: Vec<u32> = Vec::with_capacity(order.len());
+    let mut free: Vec<u64> = Vec::new();
+    let mut counts: Vec<u32> = Vec::new();
+    let mut tree = MaxSegTree::new(1);
+    for &o in order {
+        let item = items[o as usize];
         if item.size > capacity {
-            let mut b = Bin::new(capacity);
-            b.push(item);
-            bins.push(b);
-            // The slot stays INACTIVE: oversize bins never accept items.
+            // Oversize singleton at its arrival position. Its tree slot is
+            // never activated: oversize bins accept nothing.
+            seq.push(index_u32(counts.len()));
+            counts.push(1);
+            free.push(0);
             continue;
         }
         match tree.first_at_least(item.size as i128) {
             Some(idx) => {
-                bins[idx].push(item);
-                tree.set(idx, bins[idx].free() as i128);
+                seq.push(index_u32(idx));
+                counts[idx] += 1;
+                free[idx] -= item.size;
+                tree.set(idx, free[idx] as i128);
             }
             None => {
-                let mut b = Bin::new(capacity);
-                b.push(item);
-                bins.push(b);
-                let idx = bins.len() - 1;
-                tree.set(idx, bins[idx].free() as i128);
+                let idx = counts.len();
+                seq.push(index_u32(idx));
+                counts.push(1);
+                free.push(capacity - item.size);
+                tree.set(idx, free[idx] as i128);
             }
         }
     }
+    let bins = bins_from_assignment(
+        order
+            .iter()
+            .map(|&o| &items[o as usize])
+            .zip(seq.iter().copied()),
+        &counts,
+        capacity,
+    );
     let packing = Packing { bins, capacity };
     check::debug_check(items, &packing);
     packing
@@ -134,32 +221,38 @@ pub fn first_fit(items: &[Item], capacity: u64) -> Packing {
 /// the set, since keys sort by free space first and bin index second.
 pub fn best_fit(items: &[Item], capacity: u64) -> Packing {
     assert!(capacity > 0, "bin capacity must be positive");
-    let mut bins: Vec<Bin> = Vec::new();
+    assert_indexable(items.len());
+    let mut bin_of: Vec<u32> = Vec::with_capacity(items.len());
+    let mut free: Vec<u64> = Vec::new();
+    let mut counts: Vec<u32> = Vec::new();
     let mut by_free: BTreeSet<(u64, usize)> = BTreeSet::new();
     for &item in items {
         if item.size > capacity {
-            let mut b = Bin::new(capacity);
-            b.push(item);
-            bins.push(b);
             // Oversize bins are never candidates, so never enter the set.
+            bin_of.push(index_u32(counts.len()));
+            counts.push(1);
+            free.push(0);
             continue;
         }
         match by_free.range((item.size, 0)..).next().copied() {
             Some(key) => {
                 let (_, idx) = key;
                 by_free.remove(&key);
-                bins[idx].push(item);
-                by_free.insert((bins[idx].free(), idx));
+                bin_of.push(index_u32(idx));
+                counts[idx] += 1;
+                free[idx] -= item.size;
+                by_free.insert((free[idx], idx));
             }
             None => {
-                let mut b = Bin::new(capacity);
-                b.push(item);
-                bins.push(b);
-                let idx = bins.len() - 1;
-                by_free.insert((bins[idx].free(), idx));
+                let idx = counts.len();
+                bin_of.push(index_u32(idx));
+                counts.push(1);
+                free.push(capacity - item.size);
+                by_free.insert((free[idx], idx));
             }
         }
     }
+    let bins = bins_from_assignment(items.iter().zip(bin_of.iter().copied()), &counts, capacity);
     let packing = Packing { bins, capacity };
     check::debug_check(items, &packing);
     packing
@@ -173,32 +266,32 @@ pub fn best_fit(items: &[Item], capacity: u64) -> Packing {
 /// ordering of `Reverse<(load, index)>` in a max-heap.
 pub fn uniform_k_bins(items: &[Item], k: usize) -> Packing {
     assert!(k >= 1, "need at least one bin");
+    assert_indexable(items.len());
     let total: u64 = items.iter().map(|i| i.size).sum();
     let target = total.div_ceil(k as u64).max(1);
 
-    let mut order: Vec<(usize, Item)> = items.iter().copied().enumerate().collect();
-    order.sort_by(|a, b| b.1.size.cmp(&a.1.size).then(a.0.cmp(&b.0)));
+    let mut order: Vec<u32> = (0..index_u32(items.len())).collect();
+    order.sort_by(|&a, &b| {
+        items[b as usize]
+            .size
+            .cmp(&items[a as usize].size)
+            .then(a.cmp(&b))
+    });
 
-    let mut assigned: Vec<Vec<(usize, Item)>> = vec![Vec::new(); k];
+    let mut bin_of: Vec<u32> = vec![0; items.len()];
+    let mut counts: Vec<u32> = vec![0; k];
     let mut heap: BinaryHeap<Reverse<(u64, usize)>> = (0..k).map(|i| Reverse((0u64, i))).collect();
-    for (pos, item) in order {
+    for &pos in &order {
         // lint:allow(RL001, the heap is seeded with k >= 1 bins and every pop is paired with a push)
         let Reverse((load, idx)) = heap.pop().expect("heap holds k bins");
-        assigned[idx].push((pos, item));
-        heap.push(Reverse((load + item.size, idx)));
+        bin_of[pos as usize] = index_u32(idx);
+        counts[idx] += 1;
+        heap.push(Reverse((load + items[pos as usize].size, idx)));
     }
 
-    let bins = assigned
-        .into_iter()
-        .map(|mut members| {
-            members.sort_by_key(|&(pos, _)| pos);
-            let mut b = Bin::new(target);
-            for (_, item) in members {
-                b.push(item);
-            }
-            b
-        })
-        .collect();
+    // The input-order reconstruction reproduces the per-bin position sort
+    // of the reference.
+    let bins = bins_from_assignment(items.iter().zip(bin_of.iter().copied()), &counts, target);
     let packing = Packing {
         bins,
         capacity: target,
@@ -211,7 +304,7 @@ pub fn uniform_k_bins(items: &[Item], k: usize) -> Packing {
 mod tests {
     use super::*;
     use crate::kbins::naive_uniform_k_bins;
-    use crate::pack::{naive_best_fit, naive_first_fit};
+    use crate::pack::{first_fit_decreasing, naive_best_fit, naive_first_fit};
     use crate::subset_sum::naive_subset_sum_first_fit;
 
     /// A deterministic pseudo-random size mix with zeros, duplicates and
@@ -263,6 +356,17 @@ mod tests {
     }
 
     #[test]
+    fn ffd_index_order_matches_clone_and_sort() {
+        // first_fit_decreasing routes through first_fit_order with a sorted
+        // index slice; it must equal first fit over a materialized
+        // stably-sorted clone (the previous implementation).
+        let items = Item::from_sizes(&awkward_sizes(500, 1000));
+        let mut sorted = items.clone();
+        sorted.sort_by_key(|item| std::cmp::Reverse(item.size));
+        assert_eq!(first_fit_decreasing(&items, 1000), first_fit(&sorted, 1000));
+    }
+
+    #[test]
     fn all_zero_items_share_one_bin() {
         let items = Item::from_sizes(&[0, 0, 0]);
         let p = subset_sum_first_fit(&items, 10);
@@ -287,5 +391,21 @@ mod tests {
         assert!(first_fit(&[], 5).is_empty());
         assert!(best_fit(&[], 5).is_empty());
         assert_eq!(uniform_k_bins(&[], 3).len(), 3);
+    }
+
+    #[test]
+    fn bin_member_vectors_are_exact_capacity() {
+        // The reconstruction pass allocates each member vector at its final
+        // length — no doubling slack survives into the output.
+        let items = Item::from_sizes(&awkward_sizes(200, 1000));
+        for p in [
+            subset_sum_first_fit(&items, 1000),
+            first_fit(&items, 1000),
+            best_fit(&items, 1000),
+        ] {
+            for b in &p.bins {
+                assert_eq!(b.items.capacity(), b.items.len());
+            }
+        }
     }
 }

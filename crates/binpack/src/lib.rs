@@ -34,6 +34,7 @@
 
 pub mod check;
 mod derive;
+mod dispatch;
 mod dp;
 mod fast;
 mod item;
@@ -49,6 +50,7 @@ pub use check::{
     CheckViolation,
 };
 pub use derive::{derive_merged, derive_probe_chain, derive_probe_chain_par};
+pub use dispatch::{Calibration, Kernel};
 pub use dp::subset_sum_dp;
 pub use fast::{best_fit, first_fit, subset_sum_first_fit, uniform_k_bins};
 pub use item::{Bin, Item, ItemId};
@@ -56,7 +58,9 @@ pub use kbins::{naive_uniform_k_bins, pack_into_k_bins, rebalance_uniform};
 pub use pack::{
     first_fit_decreasing, naive_best_fit, naive_first_fit, next_fit, worst_fit, Packing,
 };
-pub use parallel::{shard_ranges, Parallelism};
+pub use parallel::{
+    merge_shard_packings, pack_sharded, shard_ranges, MergePolicy, Parallelism, ShardedConfig,
+};
 pub use stats::PackingStats;
 pub use subset_sum::naive_subset_sum_first_fit;
 

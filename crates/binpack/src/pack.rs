@@ -87,10 +87,18 @@ pub fn naive_first_fit(items: &[Item], capacity: u64) -> Packing {
 /// First fit decreasing: sort sizes descending (stable by input position for
 /// ties), then run first fit. Produces fuller bins than in-order first fit
 /// but front-loads the large files.
+///
+/// Sorts an index slice rather than a cloned item vector: at paper scale the
+/// clone is 16 bytes/item of pure churn, the index slice is 4.
 pub fn first_fit_decreasing(items: &[Item], capacity: u64) -> Packing {
-    let mut sorted: Vec<Item> = items.to_vec();
-    sorted.sort_by_key(|item| std::cmp::Reverse(item.size));
-    crate::fast::first_fit(&sorted, capacity)
+    assert!(
+        items.len() < u32::MAX as usize,
+        "packing arena supports at most {} items",
+        u32::MAX
+    );
+    let mut order: Vec<u32> = (0..crate::fast::index_u32(items.len())).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(items[i as usize].size));
+    crate::fast::first_fit_order(items, &order, capacity)
 }
 
 /// Best fit: each item goes to the open bin where it leaves the least free

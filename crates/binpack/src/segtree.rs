@@ -11,6 +11,12 @@
 //! key forever, mirroring the `!is_oversize()` filter of the linear scan.
 //! Keys are `i128` so the full `u64` capacity range is representable next to
 //! the −1 sentinel.
+//!
+//! The tree **grows on demand**: it is sized to the number of bins actually
+//! opened, not to the item count. Bins are a small fraction of the items
+//! (hundreds of corpus files per 10 MB unit), so at paper scale (18M items)
+//! this shrinks the tree from `2·2^25` slots (~1 GB of `i128` keys) to a few
+//! hundred kilobytes. Doubling rebuilds are amortized O(1) per opened bin.
 
 /// Max-segment-tree over `i128` keys supporting point updates and
 /// leftmost-at-least queries.
@@ -26,7 +32,8 @@ pub(crate) struct MaxSegTree {
 pub(crate) const INACTIVE: i128 = -1;
 
 impl MaxSegTree {
-    /// Tree with `n` slots, all inactive.
+    /// Tree with `n` slots, all inactive. `set` on a slot beyond `n` grows
+    /// the tree, so `n` is a capacity hint, not a bound.
     pub(crate) fn new(n: usize) -> Self {
         let width = n.max(1).next_power_of_two();
         MaxSegTree {
@@ -35,8 +42,29 @@ impl MaxSegTree {
         }
     }
 
-    /// Set slot `i`'s key and recompute ancestors.
+    /// Grow until slot `i` exists, preserving every key. Each doubling
+    /// copies the live leaves once and recomputes the internal maxima, so
+    /// total growth work over a run is O(final width).
+    fn ensure(&mut self, i: usize) {
+        if i < self.width {
+            return;
+        }
+        let mut width = self.width;
+        while width <= i {
+            width *= 2;
+        }
+        let mut tree = vec![INACTIVE; 2 * width];
+        tree[width..width + self.width].copy_from_slice(&self.tree[self.width..2 * self.width]);
+        for node in (1..width).rev() {
+            tree[node] = tree[2 * node].max(tree[2 * node + 1]);
+        }
+        self.width = width;
+        self.tree = tree;
+    }
+
+    /// Set slot `i`'s key and recompute ancestors, growing if needed.
     pub(crate) fn set(&mut self, i: usize, key: i128) {
+        self.ensure(i);
         let mut node = self.width + i;
         self.tree[node] = key;
         node /= 2;
@@ -120,5 +148,32 @@ mod tests {
         t.set(0, 4);
         assert_eq!(t.first_at_least(4), Some(0));
         assert_eq!(t.first_at_least(5), None);
+    }
+
+    #[test]
+    fn grows_on_demand_preserving_keys() {
+        let mut t = MaxSegTree::new(1);
+        for i in 0..100usize {
+            t.set(i, i as i128);
+        }
+        // Every earlier key survived the doublings.
+        assert_eq!(t.first_at_least(99), Some(99));
+        assert_eq!(t.first_at_least(50), Some(50));
+        assert_eq!(t.first_at_least(0), Some(0));
+        // Leftmost-fit semantics hold across the grown range.
+        t.set(3, 1000);
+        assert_eq!(t.first_at_least(100), Some(3));
+    }
+
+    #[test]
+    fn growth_keeps_inactive_gaps_inactive() {
+        let mut t = MaxSegTree::new(1);
+        t.set(0, 5);
+        t.set(64, 7); // forces several doublings; slots 1..64 stay inactive
+        assert_eq!(t.first_at_least(6), Some(64));
+        assert_eq!(t.first_at_least(0), Some(0));
+        // A zero-size request must not land in a never-opened gap slot.
+        t.set(0, INACTIVE);
+        assert_eq!(t.first_at_least(0), Some(64));
     }
 }

@@ -3,10 +3,11 @@
 //! order/derivation laws.
 
 use binpack::{
-    best_fit, check_k_packing, check_packing, derive_merged, derive_probe_chain,
-    derive_probe_chain_par, first_fit, naive_best_fit, naive_first_fit, naive_subset_sum_first_fit,
-    naive_uniform_k_bins, rebalance_uniform, replay_deterministic, subset_sum_first_fit,
-    uniform_k_bins, Algorithm, Item, Parallelism,
+    best_fit, check_k_packing, check_packing, check_packing_with, derive_merged,
+    derive_probe_chain, derive_probe_chain_par, first_fit, naive_best_fit, naive_first_fit,
+    naive_subset_sum_first_fit, naive_uniform_k_bins, pack_sharded, rebalance_uniform,
+    replay_deterministic, subset_sum_first_fit, uniform_k_bins, Algorithm, Calibration,
+    CheckOptions, Item, Kernel, MergePolicy, Parallelism, ShardedConfig,
 };
 use proptest::prelude::*;
 use std::collections::BTreeMap;
@@ -201,6 +202,107 @@ proptest! {
                 &derive_probe_chain_par(&base, &factors, par),
                 "parallel chain diverged under {:?}", par
             );
+        }
+    }
+
+    // Dispatch properties: Kernel::Auto must equal whichever kernel it
+    // dispatches to — and since fast ≡ naive (above), all three kernels
+    // agree for every calibration, including thresholds that flip the
+    // dispatch decision mid-range.
+
+    #[test]
+    fn auto_equals_dispatched_kernel_for_any_threshold(
+        items in arb_items(),
+        cap in 1u64..2_000,
+        threshold in prop::sample::select(vec![0usize, 50, 100, 1_000, usize::MAX]),
+    ) {
+        let cal = Calibration {
+            subset_sum_first_fit: threshold,
+            first_fit: threshold,
+            best_fit: threshold,
+        };
+        for alg in Algorithm::ALL {
+            let auto = alg.pack_with(Kernel::Auto, &cal, &items, cap);
+            let expected = alg.pack_with(cal.resolve(alg, items.len()), &cal, &items, cap);
+            prop_assert_eq!(&auto, &expected, "{:?} auto != dispatched at t={}", alg, threshold);
+            let naive = alg.pack_with(Kernel::Naive, &cal, &items, cap);
+            let fast = alg.pack_with(Kernel::Fast, &cal, &items, cap);
+            prop_assert_eq!(&naive, &fast, "{:?} kernels disagree", alg);
+            if let Err(v) = check_packing(&items, &auto) {
+                prop_assert!(false, "{:?} sanitizer: {v}", alg);
+            }
+        }
+    }
+
+    // Sharded parallel pack properties: the output must be a pure function
+    // of (algorithm, items, capacity, config) — independent of the worker
+    // count — valid under the sanitizer, and equal to the plain sequential
+    // pack when there is a single shard (the documented merge policy makes
+    // multi-shard outputs differ from the single-shot pack only at shard
+    // boundaries, so bitwise equality to `alg.pack` holds exactly at
+    // shards=1).
+
+    #[test]
+    fn sharded_pack_independent_of_worker_count(
+        items in arb_items(),
+        cap in 1u64..2_000,
+        shards in 1usize..9,
+        repack in any::<bool>(),
+    ) {
+        let merge = if repack { MergePolicy::RepackTails } else { MergePolicy::Concat };
+        let config = ShardedConfig { shards, merge };
+        for alg in [Algorithm::SubsetSumFirstFit, Algorithm::FirstFit, Algorithm::BestFit] {
+            let seq = pack_sharded(alg, &items, cap, config, Parallelism::Sequential);
+            for workers in [0usize, 2, 4] {
+                let par = pack_sharded(alg, &items, cap, config, Parallelism::Rayon(workers));
+                prop_assert_eq!(&seq, &par, "{:?} diverged at {} workers", alg, workers);
+            }
+            if let Err(v) = check_packing_with(
+                &items,
+                &seq,
+                // ss/ff/bf all preserve input order within bins, and both
+                // merge policies keep it: shard bins carry ascending global
+                // ids and the tail repack sees items in global input order.
+                CheckOptions {
+                    allow_empty_bins: false,
+                    require_input_order: true,
+                    enforce_capacity: true,
+                },
+            ) {
+                prop_assert!(false, "{:?} sharded sanitizer: {v}", alg);
+            }
+        }
+    }
+
+    #[test]
+    fn single_shard_equals_sequential_pack(
+        items in arb_items(),
+        cap in 1u64..2_000,
+        repack in any::<bool>(),
+    ) {
+        let merge = if repack { MergePolicy::RepackTails } else { MergePolicy::Concat };
+        let config = ShardedConfig { shards: 1, merge };
+        for alg in Algorithm::ALL {
+            let sharded = pack_sharded(alg, &items, cap, config, Parallelism::Rayon(3));
+            prop_assert_eq!(&sharded, &alg.pack(&items, cap), "{:?}/{:?}", alg, merge);
+        }
+    }
+
+    #[test]
+    fn sharded_conserves_and_respects_capacity(
+        items in arb_items(),
+        cap in 1u64..2_000,
+        shards in 2usize..12,
+    ) {
+        let config = ShardedConfig { shards, merge: MergePolicy::RepackTails };
+        for alg in [Algorithm::SubsetSumFirstFit, Algorithm::FirstFit, Algorithm::BestFit] {
+            let p = pack_sharded(alg, &items, cap, config, Parallelism::Sequential);
+            let input = multiset(items.iter().copied());
+            let out = multiset(p.bins.iter().flat_map(|b| b.items.iter().copied()));
+            prop_assert_eq!(&input, &out, "{:?} lost or duplicated items", alg);
+            for b in &p.bins {
+                prop_assert!(b.is_oversize() && b.len() == 1 || b.used <= cap, "{:?}", alg);
+            }
         }
     }
 

@@ -47,7 +47,10 @@ pub use pipeline::{
     FitWeighting, ModelSelection, Pipeline, PipelineConfig, PipelineError, PipelineReport,
     RefitConfig,
 };
-pub use reshape_step::{reshape_manifest, reshape_manifest_par, ReshapeOutcome};
+pub use reshape_step::{
+    pack_for_reshape, reshape_manifest, reshape_manifest_par, ReshapeOutcome, PAR_PACK_MIN_ITEMS,
+    RESHAPE_PACK_SHARDS,
+};
 pub use workload::{App, Workload};
 
 // Re-export the pieces users compose with.

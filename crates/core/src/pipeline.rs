@@ -295,6 +295,21 @@ impl Pipeline {
                 let bytes: u64 = reshape.files[lo..hi].iter().map(|f| f.size).sum();
                 obs.shard("reshape", i as u64, (hi - lo) as u64, bytes);
             }
+            // Pack-route accounting: which shards the reshape pack fanned
+            // out over (empty below the sharded-pack threshold). Also a pure
+            // function of the input manifest.
+            if workload.manifest.len() >= crate::reshape_step::PAR_PACK_MIN_ITEMS {
+                for (i, (lo, hi)) in binpack::shard_ranges(
+                    workload.manifest.len(),
+                    crate::reshape_step::RESHAPE_PACK_SHARDS,
+                )
+                .into_iter()
+                .enumerate()
+                {
+                    let bytes: u64 = workload.manifest.files[lo..hi].iter().map(|f| f.size).sum();
+                    obs.shard("reshape.pack", i as u64, (hi - lo) as u64, bytes);
+                }
+            }
         }
 
         // 4. Fit runtime = f(volume) from the chosen unit's measurements.

@@ -1,11 +1,52 @@
 //! The reshape step: merge a corpus's files into unit files of the chosen
 //! size with subset-sum first fit.
+//!
+//! The packing route is size-adaptive (see [`pack_for_reshape`]): small
+//! manifests take the single-shot [`Kernel::Auto`] kernel, manifests at or
+//! above [`PAR_PACK_MIN_ITEMS`] take the sharded parallel pack with a fixed
+//! shard count — so the packing is a pure function of the manifest and unit
+//! size, never of the host's core count or the [`Parallelism`] setting.
 
-use binpack::{subset_sum_first_fit, Item, PackingStats, Parallelism};
+use binpack::{
+    pack_sharded, Algorithm, Calibration, Item, Kernel, MergePolicy, Packing, PackingStats,
+    Parallelism, ShardedConfig,
+};
 use corpus::{FileSpec, Manifest};
 use perfmodel::UnitSize;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+
+/// Manifests with at least this many files take the sharded parallel pack;
+/// smaller ones take the single-shot adaptive kernel. Chosen well above the
+/// measured kernel crossovers so sharding overhead never dominates.
+pub const PAR_PACK_MIN_ITEMS: usize = 65_536;
+
+/// Shard count for the parallel reshape pack. Fixed (not derived from the
+/// worker count) so the packing — and therefore every downstream unit file
+/// — is byte-identical across machines and thread counts.
+pub const RESHAPE_PACK_SHARDS: usize = 16;
+
+/// The packing route every reshape uses: subset-sum first fit, adaptive
+/// kernel below [`PAR_PACK_MIN_ITEMS`], sharded parallel pack (fixed
+/// [`RESHAPE_PACK_SHARDS`] shards, tail-repack merge) at or above it.
+/// `parallelism` only controls how many workers pack shards; the output
+/// depends solely on `items` and `target`.
+pub fn pack_for_reshape(items: &[Item], target: u64, parallelism: Parallelism) -> Packing {
+    if items.len() < PAR_PACK_MIN_ITEMS {
+        Algorithm::SubsetSumFirstFit.pack_with(Kernel::Auto, &Calibration::DEFAULT, items, target)
+    } else {
+        pack_sharded(
+            Algorithm::SubsetSumFirstFit,
+            items,
+            target,
+            ShardedConfig {
+                shards: RESHAPE_PACK_SHARDS,
+                merge: MergePolicy::RepackTails,
+            },
+            parallelism,
+        )
+    }
+}
 
 /// The result of reshaping a corpus.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -69,7 +110,7 @@ pub fn reshape_manifest(manifest: &Manifest, unit: UnitSize) -> ReshapeOutcome {
                 .enumerate()
                 .map(|(i, f)| Item::new(i as u64, f.size))
                 .collect();
-            let packing = subset_sum_first_fit(&items, target);
+            let packing = pack_for_reshape(&items, target, Parallelism::Sequential);
             let files = packing
                 .bins
                 .iter()
@@ -87,11 +128,13 @@ pub fn reshape_manifest(manifest: &Manifest, unit: UnitSize) -> ReshapeOutcome {
     }
 }
 
-/// [`reshape_manifest`] with the per-bin complexity aggregation fanned out
-/// across workers. The packing itself is sequential (the greedy kernel is
-/// order-dependent), but turning each bin into a unit-file spec is
-/// independent work; bins are gathered in bin order, so the outcome is
-/// identical to the sequential reshape for every [`Parallelism`] setting.
+/// [`reshape_manifest`] with both the pack and the per-bin complexity
+/// aggregation fanned out across workers. The pack routes through
+/// [`pack_for_reshape`] — sharded above [`PAR_PACK_MIN_ITEMS`], where
+/// `parallelism` packs the fixed shards concurrently — and turning each bin
+/// into a unit-file spec is independent work gathered in bin order, so the
+/// outcome is identical to the sequential reshape for every [`Parallelism`]
+/// setting.
 pub fn reshape_manifest_par(
     manifest: &Manifest,
     unit: UnitSize,
@@ -106,7 +149,7 @@ pub fn reshape_manifest_par(
                 .enumerate()
                 .map(|(i, f)| Item::new(i as u64, f.size))
                 .collect();
-            let packing = subset_sum_first_fit(&items, target);
+            let packing = pack_for_reshape(&items, target, parallelism);
             let nonempty: Vec<(usize, &binpack::Bin)> = packing
                 .bins
                 .iter()
@@ -207,6 +250,27 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn sharded_route_is_parallelism_independent() {
+        // Enough files to cross PAR_PACK_MIN_ITEMS and take the sharded
+        // parallel pack; the outcome must not depend on the worker count.
+        let sizes: Vec<u64> = (0..PAR_PACK_MIN_ITEMS as u64 + 5_000)
+            .map(|i| (i * 131) % 900 + 1)
+            .collect();
+        let m = manifest(&sizes);
+        let unit = UnitSize::Bytes(10_000);
+        let seq = reshape_manifest(&m, unit);
+        for par in [
+            Parallelism::Sequential,
+            Parallelism::Rayon(2),
+            Parallelism::Rayon(7),
+        ] {
+            assert_eq!(seq, reshape_manifest_par(&m, unit, par), "{par:?}");
+        }
+        let total: u64 = seq.files.iter().map(|f| f.size).sum();
+        assert_eq!(total, m.total_volume());
     }
 
     #[test]

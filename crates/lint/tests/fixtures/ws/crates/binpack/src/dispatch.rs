@@ -1,0 +1,7 @@
+//! Fixture: kernel dispatch must stay clock-free — choosing a kernel by
+//! timing a trial run would make the packing depend on host load, so
+//! RL005 fires here. Dispatch decisions come from the calibration table.
+
+pub fn calibrate_by_trial() -> std::time::Instant {
+    std::time::Instant::now()
+}

@@ -44,6 +44,11 @@ if [[ $fast -eq 0 ]]; then
   # same-seed logs, then persists the throughput/savings report CI uploads.
   echo "==> sched report (writes results/SCHED_throughput.json)"
   SMOKE=1 cargo run --release -q -p bench --bin sched_report
+  # Packing-kernel perf gate: times fast/auto vs naive at smoke sizes,
+  # fails if any fast kernel regresses past 1.5x naive above its calibrated
+  # threshold, and persists the report CI uploads.
+  echo "==> perf gate (writes results/BENCH_packing_smoke.json)"
+  SMOKE=1 cargo run --release -q -p bench --bin perf_report -- --gate
 fi
 
 echo "verify: OK"

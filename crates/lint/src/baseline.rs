@@ -1,0 +1,501 @@
+//! Ratchet baseline: committed fingerprints of known findings so CI fails
+//! only on *new* ones while the backlog burns down.
+//!
+//! A fingerprint is `rule|file|normalized snippet` — deliberately free of
+//! line numbers so unrelated edits that shift a finding up or down do not
+//! break the gate. Identical snippets in one file are handled as a
+//! multiset: the baseline stores a count, and the gate fires only when the
+//! current run has *more* occurrences than baselined.
+//!
+//! The vendored `serde_json` can only serialize, so this module carries a
+//! small recursive-descent JSON reader (into the vendored [`serde::Value`]
+//! model) — enough to read back the baseline file the linter itself wrote,
+//! which keeps the crate dependency-free.
+
+use crate::{Finding, Report};
+use serde::Value;
+use std::collections::BTreeMap;
+
+/// Schema tag written into and required from baseline files.
+pub const SCHEMA: &str = "reshape-lint-baseline/1";
+
+/// One baselined fingerprint with its allowed multiplicity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entry {
+    /// `rule|file|normalized snippet`.
+    pub fingerprint: String,
+    /// How many findings with this fingerprint are accepted.
+    pub count: usize,
+    /// Why the finding is tolerated rather than fixed.
+    pub reason: String,
+}
+
+/// A parsed baseline file.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    /// Accepted fingerprints, sorted.
+    pub entries: Vec<Entry>,
+}
+
+/// Stable fingerprint of a finding: rule, file, and the snippet with
+/// whitespace runs collapsed — no line number, so the ratchet survives
+/// unrelated edits above the finding.
+pub fn fingerprint(f: &Finding) -> String {
+    let mut norm = String::with_capacity(f.snippet.len());
+    let mut in_space = true;
+    for ch in f.snippet.chars() {
+        if ch.is_whitespace() {
+            if !in_space {
+                norm.push(' ');
+            }
+            in_space = true;
+        } else {
+            norm.push(ch);
+            in_space = false;
+        }
+    }
+    format!("{}|{}|{}", f.rule, f.file, norm.trim_end())
+}
+
+/// Render the baseline capturing every *active* finding of the report.
+pub fn render(report: &Report) -> String {
+    let mut counts: BTreeMap<String, usize> = BTreeMap::new();
+    for f in report.active() {
+        *counts.entry(fingerprint(f)).or_insert(0) += 1;
+    }
+    let entries: Vec<Value> = counts
+        .into_iter()
+        .map(|(fp, n)| {
+            Value::Object(vec![
+                ("fingerprint".to_string(), Value::String(fp)),
+                ("count".to_string(), Value::U64(n as u64)),
+                (
+                    "reason".to_string(),
+                    Value::String("baselined pre-existing finding; burn down, do not add".into()),
+                ),
+            ])
+        })
+        .collect();
+    let doc = Value::Object(vec![
+        ("schema".to_string(), Value::String(SCHEMA.to_string())),
+        ("entries".to_string(), Value::Array(entries)),
+    ]);
+    let mut out = serde_json::to_string_pretty(&doc).unwrap_or_else(|_| "{}".to_string());
+    out.push('\n');
+    out
+}
+
+/// Parse a baseline file. Unknown fields are ignored; a wrong schema tag or
+/// malformed JSON is an error — a silently empty baseline would turn the
+/// gate into a hard fail on every pre-existing finding.
+pub fn parse(text: &str) -> Result<Baseline, String> {
+    let value = parse_json(text)?;
+    let Value::Object(fields) = value else {
+        return Err("baseline root must be an object".to_string());
+    };
+    let get = |name: &str| fields.iter().find(|(k, _)| k == name).map(|(_, v)| v);
+    match get("schema") {
+        Some(Value::String(s)) if s == SCHEMA => {}
+        other => return Err(format!("baseline schema must be {SCHEMA:?}, got {other:?}")),
+    }
+    let Some(Value::Array(raw)) = get("entries") else {
+        return Err("baseline `entries` must be an array".to_string());
+    };
+    let mut entries = Vec::with_capacity(raw.len());
+    for item in raw {
+        let Value::Object(fields) = item else {
+            return Err("baseline entry must be an object".to_string());
+        };
+        let get = |name: &str| fields.iter().find(|(k, _)| k == name).map(|(_, v)| v);
+        let Some(Value::String(fp)) = get("fingerprint") else {
+            return Err("baseline entry needs a string `fingerprint`".to_string());
+        };
+        let count = match get("count") {
+            Some(Value::U64(n)) => *n as usize,
+            Some(Value::I64(n)) if *n >= 0 => *n as usize,
+            None => 1,
+            other => return Err(format!("baseline `count` must be a number, got {other:?}")),
+        };
+        let reason = match get("reason") {
+            Some(Value::String(r)) => r.clone(),
+            _ => String::new(),
+        };
+        entries.push(Entry {
+            fingerprint: fp.clone(),
+            count,
+            reason,
+        });
+    }
+    entries.sort_by(|a, b| a.fingerprint.cmp(&b.fingerprint));
+    Ok(Baseline { entries })
+}
+
+/// Findings of the report not covered by the baseline: for each
+/// fingerprint, occurrences beyond the baselined count, in report order.
+pub fn diff<'a>(report: &'a Report, baseline: &Baseline) -> Vec<&'a Finding> {
+    let mut budget: BTreeMap<&str, usize> = BTreeMap::new();
+    for e in &baseline.entries {
+        *budget.entry(e.fingerprint.as_str()).or_insert(0) += e.count;
+    }
+    let mut seen: BTreeMap<String, usize> = BTreeMap::new();
+    let mut new = Vec::new();
+    for f in report.active() {
+        let fp = fingerprint(f);
+        let n = seen.entry(fp.clone()).or_insert(0);
+        *n += 1;
+        if *n > budget.get(fp.as_str()).copied().unwrap_or(0) {
+            new.push(f);
+        }
+    }
+    new
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON reader (the vendored serde_json is serialize-only).
+// ---------------------------------------------------------------------------
+
+/// Parse a complete JSON document into the vendored [`serde::Value`] model.
+pub fn parse_json(text: &str) -> Result<Value, String> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing data at byte {}", p.pos));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn consume(&mut self, b: u8) -> Result<(), String> {
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected {:?} at byte {}, found {:?}",
+                b as char,
+                self.pos,
+                self.bytes.get(self.pos).map(|&c| c as char)
+            ))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        self.skip_ws();
+        match self.bytes.get(self.pos) {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(c) if *c == b'-' || c.is_ascii_digit() => self.number(),
+            other => Err(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|&c| c as char),
+                self.pos
+            )),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Value) -> Result<Value, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, String> {
+        self.consume(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.consume(b':')?;
+            let val = self.value()?;
+            fields.push((key, val));
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                other => {
+                    return Err(format!(
+                        "expected ',' or '}}' at byte {}, found {:?}",
+                        self.pos,
+                        other.map(|&c| c as char)
+                    ))
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, String> {
+        self.consume(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                other => {
+                    return Err(format!(
+                        "expected ',' or ']' at byte {}, found {:?}",
+                        self.pos,
+                        other.map(|&c| c as char)
+                    ))
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.consume(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self
+                        .bytes
+                        .get(self.pos)
+                        .copied()
+                        .ok_or_else(|| "unterminated escape".to_string())?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000C}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| "truncated \\u escape".to_string())?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| "non-ascii \\u escape".to_string())?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| format!("bad \\u escape {hex:?}"))?;
+                            self.pos += 4;
+                            // Surrogate pairs are not produced by our own
+                            // writer; map lone surrogates to U+FFFD.
+                            out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                        }
+                        other => return Err(format!("bad escape \\{}", other as char)),
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (the input came from a
+                    // `&str`, so boundaries are sound).
+                    let start = self.pos;
+                    let mut end = start + 1;
+                    while end < self.bytes.len() && (self.bytes[end] & 0xC0) == 0x80 {
+                        end += 1;
+                    }
+                    match std::str::from_utf8(&self.bytes[start..end]) {
+                        Ok(s) => out.push_str(s),
+                        Err(_) => return Err("invalid UTF-8 in string".to_string()),
+                    }
+                    self.pos = end;
+                }
+                None => return Err("unterminated string".to_string()),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        let mut float = false;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| "invalid number".to_string())?;
+        if float {
+            text.parse::<f64>()
+                .map(Value::F64)
+                .map_err(|e| format!("bad number {text:?}: {e}"))
+        } else if text.starts_with('-') {
+            text.parse::<i64>()
+                .map(Value::I64)
+                .map_err(|e| format!("bad number {text:?}: {e}"))
+        } else {
+            text.parse::<u64>()
+                .map(Value::U64)
+                .map_err(|e| format!("bad number {text:?}: {e}"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &str, file: &str, line: usize, snippet: &str) -> Finding {
+        Finding {
+            rule: rule.to_string(),
+            severity: "error".to_string(),
+            file: file.to_string(),
+            line,
+            message: "m".to_string(),
+            snippet: snippet.to_string(),
+            suppressed: false,
+            suppress_reason: None,
+            trace: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn fingerprints_ignore_line_numbers_and_whitespace() {
+        let a = finding("RL001", "a.rs", 10, "let x =  v.unwrap();");
+        let b = finding("RL001", "a.rs", 99, "let x = v.unwrap();");
+        assert_eq!(fingerprint(&a), fingerprint(&b));
+    }
+
+    #[test]
+    fn render_parse_roundtrip() {
+        let report = Report {
+            findings: vec![
+                finding("RL001", "a.rs", 1, "x.unwrap()"),
+                finding("RL001", "a.rs", 2, "x.unwrap()"),
+                finding("RL005", "b.rs", 3, "Instant::now()"),
+            ],
+            files_scanned: 2,
+        };
+        let text = render(&report);
+        let parsed = match parse(&text) {
+            Ok(b) => b,
+            Err(e) => panic!("baseline must parse: {e}"),
+        };
+        assert_eq!(parsed.entries.len(), 2);
+        assert_eq!(parsed.entries[0].count, 2);
+        assert!(
+            diff(&report, &parsed).is_empty(),
+            "own render must gate clean"
+        );
+    }
+
+    #[test]
+    fn diff_reports_only_new_findings() {
+        let old = Report {
+            findings: vec![finding("RL001", "a.rs", 1, "x.unwrap()")],
+            files_scanned: 1,
+        };
+        let baseline = match parse(&render(&old)) {
+            Ok(b) => b,
+            Err(e) => panic!("baseline must parse: {e}"),
+        };
+        let new = Report {
+            findings: vec![
+                finding("RL001", "a.rs", 5, "x.unwrap()"), // shifted: covered
+                finding("RL001", "a.rs", 9, "y.unwrap()"), // new snippet
+                finding("RL005", "a.rs", 11, "Instant::now()"), // new rule hit
+            ],
+            files_scanned: 1,
+        };
+        let fresh = diff(&new, &baseline);
+        let lines: Vec<usize> = fresh.iter().map(|f| f.line).collect();
+        assert_eq!(lines, vec![9, 11]);
+    }
+
+    #[test]
+    fn count_multiset_catches_duplicates_beyond_budget() {
+        let old = Report {
+            findings: vec![finding("RL001", "a.rs", 1, "x.unwrap()")],
+            files_scanned: 1,
+        };
+        let baseline = match parse(&render(&old)) {
+            Ok(b) => b,
+            Err(e) => panic!("baseline must parse: {e}"),
+        };
+        let new = Report {
+            findings: vec![
+                finding("RL001", "a.rs", 1, "x.unwrap()"),
+                finding("RL001", "a.rs", 2, "x.unwrap()"),
+            ],
+            files_scanned: 1,
+        };
+        assert_eq!(diff(&new, &baseline).len(), 1, "second copy is new");
+    }
+
+    #[test]
+    fn wrong_schema_is_an_error() {
+        assert!(parse("{\"schema\": \"other/1\", \"entries\": []}").is_err());
+        assert!(parse("not json").is_err());
+    }
+
+    #[test]
+    fn json_reader_handles_escapes_and_nesting() {
+        let v =
+            match parse_json("{\"a\": [1, -2, 3.5, true, null], \"s\": \"q\\\"\\n\\u0041\u{e9}\"}")
+            {
+                Ok(v) => v,
+                Err(e) => panic!("must parse: {e}"),
+            };
+        let Value::Object(fields) = v else {
+            panic!("root object");
+        };
+        assert_eq!(fields[0].0, "a");
+        let Value::Array(items) = &fields[0].1 else {
+            panic!("array");
+        };
+        assert_eq!(items.len(), 5);
+        assert_eq!(items[1], Value::I64(-2));
+        let Value::String(s) = &fields[1].1 else {
+            panic!("string");
+        };
+        assert_eq!(s, "q\"\nA\u{e9}");
+    }
+}

@@ -4,28 +4,41 @@
 //! The workspace has invariants ordinary compiler lints cannot see: packing
 //! and planning must be deterministic and bit-reproducible, byte accounting
 //! must never truncate, and library crates must surface failures as typed
-//! errors rather than panics. This crate enforces them with a small,
-//! dependency-free lexical analysis driver:
+//! errors rather than panics. This crate enforces them with a
+//! dependency-free analysis pipeline:
 //!
 //! * [`scanner`] — context-aware line scanning (strings, comments,
-//!   `#[cfg(test)]` regions),
-//! * [`rules`] — the rule registry with stable IDs (`RL001`..`RL006`),
+//!   `#[cfg(test)]` regions) for the lexical rules,
+//! * [`tokens`] / [`parse`] — a lossless tokenizer and item-level parser
+//!   recovering `fn` definitions and call sites,
+//! * [`callgraph`] / [`taint`] — cross-crate call resolution and
+//!   nondeterminism taint propagation (rules RL007–RL009),
+//! * [`rules`] — the registry with stable IDs (`RL001`..`RL010`),
 //! * [`context`] — file classification (library vs test vs bench code),
-//! * this module — the driver: suppression handling, reports, JSON output.
+//! * [`baseline`] — the committed ratchet: CI fails only on *new* findings,
+//! * [`sarif`] — SARIF 2.1.0 export for GitHub code scanning,
+//! * this module — the driver: suppression handling, the unused-suppression
+//!   audit (RL010), reports, JSON output.
 //!
 //! Run it with `cargo run -p lint`; it exits non-zero when any unsuppressed
 //! error-severity finding remains and writes `results/LINT.json`.
 //!
 //! Findings are suppressed inline with
-//! `// lint:allow(RL001, reason why this one is fine)` on the offending
+//! `// lint:allow(RLnnn, reason why this one is fine)` on the offending
 //! line or the line directly above it. The reason is mandatory — a
-//! suppression without one does not suppress.
+//! suppression without one does not suppress, and RL010 flags it.
 
 #![forbid(unsafe_code)]
 
+pub mod baseline;
+pub mod callgraph;
 pub mod context;
+pub mod parse;
 pub mod rules;
+pub mod sarif;
 pub mod scanner;
+pub mod taint;
+pub mod tokens;
 
 use serde::Serialize;
 use std::collections::BTreeMap;
@@ -53,6 +66,9 @@ pub struct Finding {
     pub suppressed: bool,
     /// The reason given in the suppression, when suppressed.
     pub suppress_reason: Option<String>,
+    /// For dataflow findings (RL007): the sink→source call path, one
+    /// `qual (file:line)` hop per entry, evidence last. Empty otherwise.
+    pub trace: Vec<String>,
 }
 
 /// The outcome of a lint run.
@@ -102,7 +118,7 @@ impl Report {
             }
         }
         let report = JsonReport {
-            schema: "reshape-lint/1".to_string(),
+            schema: "reshape-lint/2".to_string(),
             files_scanned: self.files_scanned,
             errors: self.error_count(),
             suppressed: self.suppressed_count(),
@@ -113,16 +129,24 @@ impl Report {
     }
 }
 
-/// A parsed `lint:allow(ID, reason)` suppression.
+/// A parsed `lint:allow(ID[, reason])` suppression.
 #[derive(Debug, Clone, PartialEq, Eq)]
 struct Allow {
     rule: String,
-    reason: String,
+    /// `None` when the allow carries no reason — it then suppresses
+    /// nothing and RL010 flags it.
+    reason: Option<String>,
 }
 
-/// Parse the suppressions in one comment. The reason is mandatory; an
-/// allow without one is ignored so stale blanket suppressions cannot
-/// accumulate silently.
+/// Parse the suppressions in one comment, including reasonless ones (which
+/// never suppress but must be visible to the RL010 audit).
+/// Is this a well-formed rule id (`RL` + three ASCII digits)? Anything
+/// else in a `lint:allow(...)` is treated as prose — documentation often
+/// writes placeholder ids like `RLnnn` or `ID` — and ignored entirely.
+fn is_rule_id(id: &str) -> bool {
+    id.len() == 5 && id.starts_with("RL") && id[2..].bytes().all(|b| b.is_ascii_digit())
+}
+
 fn parse_allows(comment: &str) -> Vec<Allow> {
     let mut out = Vec::new();
     let mut rest = comment;
@@ -134,13 +158,25 @@ fn parse_allows(comment: &str) -> Vec<Allow> {
             break;
         };
         let body = &inner[..close];
-        if let Some((id, reason)) = body.split_once(',') {
-            let reason = reason.trim();
-            if !reason.is_empty() {
-                out.push(Allow {
-                    rule: id.trim().to_string(),
-                    reason: reason.to_string(),
-                });
+        match body.split_once(',') {
+            Some((id, reason)) => {
+                let id = id.trim();
+                let reason = reason.trim();
+                if is_rule_id(id) {
+                    out.push(Allow {
+                        rule: id.to_string(),
+                        reason: (!reason.is_empty()).then(|| reason.to_string()),
+                    });
+                }
+            }
+            None => {
+                let id = body.trim();
+                if is_rule_id(id) {
+                    out.push(Allow {
+                        rule: id.to_string(),
+                        reason: None,
+                    });
+                }
             }
         }
         rest = &inner[close..];
@@ -148,23 +184,36 @@ fn parse_allows(comment: &str) -> Vec<Allow> {
     out
 }
 
-/// Lint one file's source text under the given context.
-pub fn lint_source(ctx: &FileContext, source: &str) -> Vec<Finding> {
-    let lines = scanner::scan(source);
+/// Reasoned allows covering line `number`: those written on the line itself
+/// or on the line directly above.
+fn allows_for_line(lines: &[scanner::Line], number: usize) -> Vec<Allow> {
+    let mut allows = Vec::new();
+    for n in [number.checked_sub(1), Some(number)].into_iter().flatten() {
+        if n >= 1 {
+            if let Some(line) = lines.get(n - 1) {
+                allows.extend(
+                    parse_allows(&line.comment)
+                        .into_iter()
+                        .filter(|a| a.reason.is_some()),
+                );
+            }
+        }
+    }
+    allows
+}
+
+/// Lint one file's scanned lines with the lexical rules.
+fn lint_lines(ctx: &FileContext, lines: &[scanner::Line]) -> Vec<Finding> {
     let applicable: Vec<&Rule> = RULES.iter().filter(|r| r.applies_to(ctx)).collect();
     if applicable.is_empty() {
         return Vec::new();
     }
     let mut findings = Vec::new();
-    for (i, line) in lines.iter().enumerate() {
+    for line in lines {
         if line.in_test {
             continue;
         }
-        // Suppressions on the offending line or the line directly above.
-        let mut allows = parse_allows(&line.comment);
-        if i > 0 {
-            allows.extend(parse_allows(&lines[i - 1].comment));
-        }
+        let allows = allows_for_line(lines, line.number);
         for rule in &applicable {
             for message in (rule.check)(line) {
                 let allow = allows.iter().find(|a| a.rule == rule.id);
@@ -176,7 +225,8 @@ pub fn lint_source(ctx: &FileContext, source: &str) -> Vec<Finding> {
                     message,
                     snippet: line.raw.trim().to_string(),
                     suppressed: allow.is_some(),
-                    suppress_reason: allow.map(|a| a.reason.clone()),
+                    suppress_reason: allow.and_then(|a| a.reason.clone()),
+                    trace: Vec::new(),
                 });
             }
         }
@@ -184,9 +234,23 @@ pub fn lint_source(ctx: &FileContext, source: &str) -> Vec<Finding> {
     findings
 }
 
-/// Lint every classified `.rs` file under `root`.
+/// Lint one file's source text under the given context (lexical rules
+/// only — the dataflow rules need the whole workspace and run in
+/// [`lint_tree`]).
+pub fn lint_source(ctx: &FileContext, source: &str) -> Vec<Finding> {
+    lint_lines(ctx, &scanner::scan(source))
+}
+
+/// Lint every classified `.rs` file under `root`: lexical rules per line,
+/// then the workspace-wide dataflow rules (RL007–RL009) over the call
+/// graph, then the suppression audit (RL010).
 pub fn lint_tree(root: &Path) -> std::io::Result<Report> {
     let mut report = Report::default();
+    // Per-file scanned lines, kept for suppression lookup and snippets.
+    let mut scanned: BTreeMap<String, (FileContext, Vec<scanner::Line>)> = BTreeMap::new();
+    let mut defs: Vec<parse::FnDef> = Vec::new();
+    let mut masked: BTreeMap<String, Vec<String>> = BTreeMap::new();
+
     for path in collect_rs_files(root)? {
         let rel = path
             .strip_prefix(root)
@@ -198,8 +262,100 @@ pub fn lint_tree(root: &Path) -> std::io::Result<Report> {
         };
         let source = std::fs::read_to_string(&path)?;
         report.files_scanned += 1;
-        report.findings.extend(lint_source(&ctx, &source));
+        let lines = scanner::scan(&source);
+        report.findings.extend(lint_lines(&ctx, &lines));
+        if ctx.category == Category::Library {
+            defs.extend(parse::parse_file(&rel, &ctx.crate_dir, &source).defs);
+            masked.insert(rel.clone(), tokens::masked_lines(&source));
+        }
+        scanned.insert(rel, (ctx, lines));
     }
+
+    // Dataflow rules over the whole-workspace call graph.
+    let graph = callgraph::build(defs);
+    for tf in taint::run(&graph, &masked, rules::DETERMINISM_SENSITIVE) {
+        let Some(rule) = rules::rule_by_id(tf.rule) else {
+            continue;
+        };
+        let Some((_, lines)) = scanned.get(&tf.file) else {
+            continue;
+        };
+        let allows = allows_for_line(lines, tf.line);
+        let allow = allows.iter().find(|a| a.rule == rule.id);
+        let snippet = lines
+            .get(tf.line - 1)
+            .map(|l| l.raw.trim().to_string())
+            .unwrap_or_default();
+        report.findings.push(Finding {
+            rule: rule.id.to_string(),
+            severity: rule.severity.label().to_string(),
+            file: tf.file,
+            line: tf.line,
+            message: tf.message,
+            snippet,
+            suppressed: allow.is_some(),
+            suppress_reason: allow.and_then(|a| a.reason.clone()),
+            trace: tf.trace,
+        });
+    }
+
+    // RL010: every allow in non-test library code must both carry a reason
+    // and suppress at least one finding.
+    let mut audits: Vec<Finding> = Vec::new();
+    for (rel, (ctx, lines)) in &scanned {
+        let Some(rl010) = rules::rule_by_id("RL010") else {
+            break;
+        };
+        if !rl010.applies_to(ctx) {
+            continue;
+        }
+        for line in lines {
+            if line.in_test {
+                continue;
+            }
+            for allow in parse_allows(&line.comment) {
+                let used = report.findings.iter().any(|f| {
+                    f.suppressed
+                        && f.rule == allow.rule
+                        && f.file == *rel
+                        && (f.line == line.number || f.line == line.number + 1)
+                        && allow.reason.is_some()
+                });
+                if used {
+                    continue;
+                }
+                let message = match &allow.reason {
+                    None => format!(
+                        "`lint:allow({})` carries no reason; a suppression \
+                         without a justification does not suppress",
+                        allow.rule
+                    ),
+                    Some(_) => format!(
+                        "unused `lint:allow({})`: no {} finding on this line \
+                         or the one below — remove the stale suppression",
+                        allow.rule, allow.rule
+                    ),
+                };
+                // RL010 itself honours suppressions, so a deliberate
+                // fixture allow can be annotated.
+                let meta_allows = allows_for_line(lines, line.number);
+                let meta = meta_allows.iter().find(|a| a.rule == "RL010");
+                audits.push(Finding {
+                    rule: "RL010".to_string(),
+                    severity: rl010.severity.label().to_string(),
+                    file: rel.clone(),
+                    line: line.number,
+                    message,
+                    snippet: line.raw.trim().to_string(),
+                    suppressed: meta.is_some(),
+                    suppress_reason: meta.and_then(|a| a.reason.clone()),
+                    trace: Vec::new(),
+                });
+            }
+        }
+    }
+    report.findings.extend(audits);
+
     report
         .findings
         .sort_by(|a, b| (&a.file, a.line, &a.rule).cmp(&(&b.file, b.line, &b.rule)));
@@ -256,7 +412,18 @@ mod tests {
     fn suppression_reason_may_contain_parens() {
         let allows = parse_allows(" lint:allow(RL002, aborting here is fine (the whole point))");
         assert_eq!(allows.len(), 1);
-        assert_eq!(allows[0].reason, "aborting here is fine (the whole point)");
+        assert_eq!(
+            allows[0].reason.as_deref(),
+            Some("aborting here is fine (the whole point)")
+        );
+    }
+
+    #[test]
+    fn reasonless_allows_are_parsed_for_the_audit() {
+        let allows = parse_allows(" lint:allow(RL001)");
+        assert_eq!(allows.len(), 1);
+        assert_eq!(allows[0].rule, "RL001");
+        assert!(allows[0].reason.is_none());
     }
 
     #[test]
@@ -286,7 +453,7 @@ mod tests {
         };
         let a = report.to_json();
         assert_eq!(a, report.to_json());
-        assert!(a.contains("\"schema\": \"reshape-lint/1\""));
+        assert!(a.contains("\"schema\": \"reshape-lint/2\""));
         assert!(a.contains("\"RL001\": 1"));
     }
 }

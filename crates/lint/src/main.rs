@@ -1,39 +1,88 @@
 //! The `reshape-lint` driver binary.
 //!
-//! Usage: `cargo run -p lint [--] [ROOT] [--json] [--no-write]`
+//! Usage: `cargo run -p lint [--] [ROOT] [OPTIONS]`
 //!
 //! * `ROOT` — tree to lint (defaults to the workspace root),
 //! * `--json` — print the JSON report to stdout instead of human output,
-//! * `--no-write` — skip writing `results/LINT.json`.
+//! * `--no-write` — skip writing `results/LINT.json`,
+//! * `--sarif PATH` — also write a SARIF 2.1.0 report to `PATH`,
+//! * `--baseline PATH` — ratchet mode: exit 1 only on findings *not*
+//!   covered by the committed baseline,
+//! * `--write-baseline PATH` — capture the current findings as the new
+//!   baseline and exit 0.
 //!
-//! Exit codes: 0 clean, 1 unsuppressed errors found, 2 usage or I/O error.
+//! Exit codes: 0 clean (or fully baselined), 1 unsuppressed errors (or new
+//! findings in ratchet mode), 2 usage or I/O error.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Instant;
 
-fn main() -> ExitCode {
-    let mut root: Option<PathBuf> = None;
-    let mut json = false;
-    let mut write = true;
-    for arg in std::env::args().skip(1) {
+struct Args {
+    root: Option<PathBuf>,
+    json: bool,
+    write: bool,
+    sarif: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+    write_baseline: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Option<Args>, String> {
+    let mut args = Args {
+        root: None,
+        json: false,
+        write: true,
+        sarif: None,
+        baseline: None,
+        write_baseline: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
         match arg.as_str() {
-            "--json" => json = true,
-            "--no-write" => write = false,
+            "--json" => args.json = true,
+            "--no-write" => args.write = false,
+            "--sarif" | "--baseline" | "--write-baseline" => {
+                let Some(value) = it.next() else {
+                    return Err(format!("{arg} needs a path argument"));
+                };
+                let slot = match arg.as_str() {
+                    "--sarif" => &mut args.sarif,
+                    "--baseline" => &mut args.baseline,
+                    _ => &mut args.write_baseline,
+                };
+                *slot = Some(PathBuf::from(value));
+            }
             "--help" | "-h" => {
-                println!("usage: lint [ROOT] [--json] [--no-write]");
-                return ExitCode::SUCCESS;
+                println!(
+                    "usage: lint [ROOT] [--json] [--no-write] [--sarif PATH] \
+                     [--baseline PATH] [--write-baseline PATH]"
+                );
+                return Ok(None);
             }
-            other if root.is_none() && !other.starts_with('-') => {
-                root = Some(PathBuf::from(other));
+            other if args.root.is_none() && !other.starts_with('-') => {
+                args.root = Some(PathBuf::from(other));
             }
-            other => {
-                eprintln!("lint: unknown argument {other:?}");
-                return ExitCode::from(2);
-            }
+            other => return Err(format!("unknown argument {other:?}")),
         }
     }
-    let root = root.unwrap_or_else(lint::workspace_root);
+    Ok(Some(args))
+}
 
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(Some(args)) => args,
+        Ok(None) => return ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let root = args.root.clone().unwrap_or_else(lint::workspace_root);
+
+    // Wall time is printed so analyzer runtime regressions show up in CI
+    // logs. (The lint binary may read the clock; the library crates may
+    // not — that asymmetry is exactly what the Binary category encodes.)
+    let started = Instant::now();
     let report = match lint::lint_tree(&root) {
         Ok(r) => r,
         Err(e) => {
@@ -41,8 +90,9 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    let elapsed = started.elapsed();
 
-    if write {
+    if args.write {
         let results = root.join("results");
         let path = results.join("LINT.json");
         if let Err(e) =
@@ -53,7 +103,70 @@ fn main() -> ExitCode {
         }
     }
 
-    if json {
+    if let Some(path) = &args.sarif {
+        if let Err(e) = std::fs::write(path, lint::sarif::render(&report)) {
+            eprintln!("lint: failed to write SARIF {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    if let Some(path) = &args.write_baseline {
+        if let Err(e) = std::fs::write(path, lint::baseline::render(&report)) {
+            eprintln!("lint: failed to write baseline {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        eprintln!(
+            "reshape-lint: baseline captured to {} ({} findings)",
+            path.display(),
+            report.active().count()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    // Ratchet mode: only findings beyond the committed baseline fail.
+    if let Some(path) = &args.baseline {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("lint: cannot read baseline {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        let baseline = match lint::baseline::parse(&text) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("lint: bad baseline {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        let fresh = lint::baseline::diff(&report, &baseline);
+        for f in &fresh {
+            println!(
+                "NEW {}[{}]: {}:{}: {}",
+                f.severity, f.rule, f.file, f.line, f.message
+            );
+            println!("    | {}", f.snippet);
+            for hop in &f.trace {
+                println!("    > {hop}");
+            }
+        }
+        println!(
+            "reshape-lint: {} — {} files, {} findings ({} baselined), {} new, {:.3}s",
+            if fresh.is_empty() { "clean" } else { "FAILED" },
+            report.files_scanned,
+            report.active().count(),
+            baseline.entries.iter().map(|e| e.count).sum::<usize>(),
+            fresh.len(),
+            elapsed.as_secs_f64(),
+        );
+        return if fresh.is_empty() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::from(1)
+        };
+    }
+
+    if args.json {
         println!("{}", report.to_json());
     } else {
         for f in report.active() {
@@ -62,13 +175,18 @@ fn main() -> ExitCode {
                 f.severity, f.rule, f.file, f.line, f.message
             );
             println!("    | {}", f.snippet);
+            for hop in &f.trace {
+                println!("    > {hop}");
+            }
         }
         let errors = report.error_count();
         let suppressed = report.suppressed_count();
         let verdict = if errors == 0 { "clean" } else { "FAILED" };
         println!(
-            "reshape-lint: {verdict} — {} files scanned, {errors} errors, {suppressed} suppressed",
-            report.files_scanned
+            "reshape-lint: {verdict} — {} files scanned, {errors} errors, \
+             {suppressed} suppressed, {:.3}s",
+            report.files_scanned,
+            elapsed.as_secs_f64(),
         );
     }
 

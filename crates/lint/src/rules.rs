@@ -68,7 +68,10 @@ impl Rule {
 }
 
 /// Crates whose packing / modelling output must be bit-reproducible.
-const DETERMINISM_SENSITIVE: &[&str] = &[
+/// `textapps` belongs here: its grep/tokenize/POS counts feed the probe
+/// measurements the models are fitted on, so nondeterministic output there
+/// skews every downstream plan.
+pub const DETERMINISM_SENSITIVE: &[&str] = &[
     "binpack",
     "perfmodel",
     "provision",
@@ -77,18 +80,21 @@ const DETERMINISM_SENSITIVE: &[&str] = &[
     "ec2sim",
     "obs",
     "sched",
+    "textapps",
 ];
 
 /// Crates where wall-clock reads would poison model fits and plans —
 /// including the simulator, whose clock is simulated seconds and whose
-/// fault schedules must replay bit-for-bit.
-const CLOCK_FREE: &[&str] = &[
+/// fault schedules must replay bit-for-bit. `textapps` processing is pure
+/// text transformation; any timing of it belongs in the bench crate.
+pub const CLOCK_FREE: &[&str] = &[
     "binpack",
     "ec2sim",
     "obs",
     "perfmodel",
     "provision",
     "sched",
+    "textapps",
 ];
 
 /// Crates doing byte accounting where a narrowing cast silently corrupts.
@@ -152,6 +158,51 @@ pub const RULES: &[Rule] = &[
         scope: Scope::LibrariesOf(BYTE_ACCOUNTING),
         check: check_lossy_cast,
     },
+    // RL007–RL010 are dataflow rules: their findings come from the
+    // call-graph taint pass and the suppression audit in the driver, not
+    // from a line matcher. They are registered here so severities, SARIF
+    // metadata and `lint:allow` suppressions treat them uniformly.
+    Rule {
+        id: "RL007",
+        severity: Severity::Error,
+        title: "transitive nondeterminism reaching a determinism-sensitive public API",
+        rationale: "a clock, env or hash-order read two calls deep poisons a \
+                    public packing/planning API just as surely as a direct one, \
+                    but no single line shows it; the taint pass reports the \
+                    full source-to-sink call path",
+        scope: Scope::LibrariesOf(DETERMINISM_SENSITIVE),
+        check: check_none,
+    },
+    Rule {
+        id: "RL008",
+        severity: Severity::Error,
+        title: "order-sensitive parallel float reduction",
+        rationale: "float addition is not associative; `par_iter().reduce/fold/sum` \
+                    over floats lets work stealing pick the association order, so \
+                    the same input can produce different sums across runs",
+        scope: Scope::LibrariesOf(DETERMINISM_SENSITIVE),
+        check: check_none,
+    },
+    Rule {
+        id: "RL009",
+        severity: Severity::Error,
+        title: "non-total comparator in a sort/max/min position",
+        rationale: "`partial_cmp().unwrap()` as a comparator panics on NaN and \
+                    makes the order input-dependent; use `total_cmp` or handle \
+                    the NaN case explicitly",
+        scope: Scope::AllLibraries,
+        check: check_none,
+    },
+    Rule {
+        id: "RL010",
+        severity: Severity::Error,
+        title: "unused or reasonless `lint:allow` suppression",
+        rationale: "a suppression that no longer matches a finding, or carries \
+                    no reason, is debt that silently widens; remove it or \
+                    justify it",
+        scope: Scope::AllLibraries,
+        check: check_none,
+    },
 ];
 
 /// Look up a rule by ID.
@@ -181,6 +232,11 @@ fn has_token(code: &str, pat: &str) -> bool {
         from = start + 1;
     }
     false
+}
+
+/// Matcher for dataflow rules, whose findings the driver injects.
+fn check_none(_line: &Line) -> Vec<String> {
+    Vec::new()
 }
 
 fn check_unwrap(line: &Line) -> Vec<String> {

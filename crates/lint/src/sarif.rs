@@ -1,0 +1,270 @@
+//! SARIF 2.1.0 export, the interchange shape GitHub code scanning ingests.
+//!
+//! The vendored `serde_json` renders [`serde::Value`] trees, so the
+//! document is assembled literally — every key below (`$schema`, `ruleId`,
+//! `physicalLocation`, …) is part of the SARIF contract and must be spelled
+//! exactly. Suppressed findings are emitted with an `inSource` suppression
+//! object rather than dropped, matching how code-scanning UIs display
+//! dismissed alerts; the ratchet baseline is *not* folded in here — SARIF
+//! reports what the analyzer saw, the baseline decides what gates.
+
+use crate::baseline::fingerprint;
+use crate::rules::RULES;
+use crate::Report;
+use serde::Value;
+
+/// The canonical 2.1.0 schema URI GitHub code scanning accepts.
+const SCHEMA_URI: &str =
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json";
+
+fn s(text: &str) -> Value {
+    Value::String(text.to_string())
+}
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+/// Render the report as a SARIF 2.1.0 document.
+pub fn render(report: &Report) -> String {
+    let rules: Vec<Value> = RULES
+        .iter()
+        .map(|r| {
+            obj(vec![
+                ("id", s(r.id)),
+                ("name", s(r.title)),
+                ("shortDescription", obj(vec![("text", s(r.title))])),
+                ("fullDescription", obj(vec![("text", s(r.rationale))])),
+                (
+                    "defaultConfiguration",
+                    obj(vec![("level", s(r.severity.label()))]),
+                ),
+            ])
+        })
+        .collect();
+
+    let results: Vec<Value> = report
+        .findings
+        .iter()
+        .map(|f| {
+            let rule_index = RULES.iter().position(|r| r.id == f.rule);
+            let location = obj(vec![(
+                "physicalLocation",
+                obj(vec![
+                    (
+                        "artifactLocation",
+                        obj(vec![("uri", s(&f.file)), ("uriBaseId", s("%SRCROOT%"))]),
+                    ),
+                    (
+                        "region",
+                        obj(vec![
+                            ("startLine", Value::U64(f.line as u64)),
+                            ("snippet", obj(vec![("text", s(&f.snippet))])),
+                        ]),
+                    ),
+                ]),
+            )]);
+            let mut fields = vec![
+                ("ruleId", s(&f.rule)),
+                (
+                    "ruleIndex",
+                    match rule_index {
+                        Some(i) => Value::U64(i as u64),
+                        None => Value::I64(-1),
+                    },
+                ),
+                ("level", s(&f.severity)),
+                ("message", obj(vec![("text", s(&f.message))])),
+                ("locations", Value::Array(vec![location])),
+                (
+                    "partialFingerprints",
+                    obj(vec![("reshapeLintFingerprint/v1", s(&fingerprint(f)))]),
+                ),
+            ];
+            if !f.trace.is_empty() {
+                // The sink→source call path, one message per hop, so the
+                // alert is actionable without re-running the analyzer.
+                let hops: Vec<Value> = f
+                    .trace
+                    .iter()
+                    .map(|hop| {
+                        obj(vec![(
+                            "location",
+                            obj(vec![("message", obj(vec![("text", s(hop))]))]),
+                        )])
+                    })
+                    .collect();
+                fields.push((
+                    "codeFlows",
+                    Value::Array(vec![obj(vec![(
+                        "threadFlows",
+                        Value::Array(vec![obj(vec![("locations", Value::Array(hops))])]),
+                    )])]),
+                ));
+            }
+            if f.suppressed {
+                let justification = f.suppress_reason.clone().unwrap_or_default();
+                fields.push((
+                    "suppressions",
+                    Value::Array(vec![obj(vec![
+                        ("kind", s("inSource")),
+                        ("justification", s(&justification)),
+                    ])]),
+                ));
+            }
+            obj(fields)
+        })
+        .collect();
+
+    let doc = obj(vec![
+        ("$schema", s(SCHEMA_URI)),
+        ("version", s("2.1.0")),
+        (
+            "runs",
+            Value::Array(vec![obj(vec![
+                (
+                    "tool",
+                    obj(vec![(
+                        "driver",
+                        obj(vec![
+                            ("name", s("reshape-lint")),
+                            ("version", s(env!("CARGO_PKG_VERSION"))),
+                            (
+                                "informationUri",
+                                s("https://github.com/corpus-reshape/corpus-reshape"),
+                            ),
+                            ("rules", Value::Array(rules)),
+                        ]),
+                    )]),
+                ),
+                ("columnKind", s("utf16CodeUnits")),
+                ("results", Value::Array(results)),
+            ])]),
+        ),
+    ]);
+    let mut out = serde_json::to_string_pretty(&doc).unwrap_or_else(|_| "{}".to_string());
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::parse_json;
+    use crate::Finding;
+
+    fn sample_report() -> Report {
+        Report {
+            findings: vec![
+                Finding {
+                    rule: "RL005".to_string(),
+                    severity: "error".to_string(),
+                    file: "crates/obs/src/clock.rs".to_string(),
+                    line: 5,
+                    message: "wall clock".to_string(),
+                    snippet: "Instant::now()".to_string(),
+                    suppressed: false,
+                    suppress_reason: None,
+                    trace: Vec::new(),
+                },
+                Finding {
+                    rule: "RL007".to_string(),
+                    severity: "error".to_string(),
+                    file: "crates/binpack/src/api.rs".to_string(),
+                    line: 3,
+                    message: "api -> mid -> deep".to_string(),
+                    snippet: "pub fn api()".to_string(),
+                    suppressed: true,
+                    suppress_reason: Some("fixture".to_string()),
+                    trace: vec!["api (a.rs:3)".to_string(), "deep (a.rs:9)".to_string()],
+                },
+            ],
+            files_scanned: 2,
+        }
+    }
+
+    #[test]
+    fn sarif_has_the_2_1_0_shape() {
+        let text = render(&sample_report());
+        let doc = match parse_json(&text) {
+            Ok(v) => v,
+            Err(e) => panic!("SARIF must be valid JSON: {e}"),
+        };
+        let Value::Object(root) = doc else {
+            panic!("root object");
+        };
+        let get = |fields: &[(String, Value)], name: &str| -> Value {
+            fields
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v.clone())
+                .unwrap_or(Value::Null)
+        };
+        assert_eq!(get(&root, "version"), Value::String("2.1.0".to_string()));
+        let Value::String(schema) = get(&root, "$schema") else {
+            panic!("$schema present");
+        };
+        assert!(schema.contains("sarif-schema-2.1.0"));
+        let Value::Array(runs) = get(&root, "runs") else {
+            panic!("runs array");
+        };
+        assert_eq!(runs.len(), 1);
+        let Value::Object(run) = &runs[0] else {
+            panic!("run object");
+        };
+        let Value::Object(tool) = get(run, "tool") else {
+            panic!("tool object");
+        };
+        let Value::Object(driver) = get(&tool, "driver") else {
+            panic!("driver object");
+        };
+        assert_eq!(
+            get(&driver, "name"),
+            Value::String("reshape-lint".to_string())
+        );
+        let Value::Array(rules) = get(&driver, "rules") else {
+            panic!("rules array");
+        };
+        assert_eq!(rules.len(), RULES.len());
+        let Value::Array(results) = get(run, "results") else {
+            panic!("results array");
+        };
+        assert_eq!(results.len(), 2);
+        // Every result points at a physical location with a start line.
+        for r in &results {
+            let Value::Object(r) = r else {
+                panic!("result object");
+            };
+            let Value::Array(locs) = get(r, "locations") else {
+                panic!("locations");
+            };
+            let Value::Object(loc) = &locs[0] else {
+                panic!("location");
+            };
+            let Value::Object(phys) = get(loc, "physicalLocation") else {
+                panic!("physicalLocation");
+            };
+            let Value::Object(region) = get(&phys, "region") else {
+                panic!("region");
+            };
+            assert!(matches!(get(&region, "startLine"), Value::U64(_)));
+        }
+        // The suppressed RL007 carries both a suppression and a code flow.
+        let Value::Object(second) = &results[1] else {
+            panic!("second result");
+        };
+        assert!(matches!(get(second, "suppressions"), Value::Array(_)));
+        assert!(matches!(get(second, "codeFlows"), Value::Array(_)));
+    }
+
+    #[test]
+    fn render_is_deterministic() {
+        let r = sample_report();
+        assert_eq!(render(&r), render(&r));
+    }
+}

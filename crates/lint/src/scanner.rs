@@ -140,26 +140,34 @@ pub fn scan(source: &str) -> Vec<Line> {
                         code.push(' ');
                         i += 1;
                         mode = Mode::Str;
-                    } else if (c == 'r' || c == 'b') && !prev_ident {
-                        // Raw / byte string starts: r", r#", br", b".
+                    } else if (c == 'r' || c == 'b' || c == 'c') && !prev_ident {
+                        // Prefixed literal starts: r"/r#", br"/br#, b",
+                        // c", cr"/cr#" (C strings, Rust 1.77), and the
+                        // byte-char prefix b'.
                         let mut j = i + 1;
-                        if c == 'b' && chars.get(j) == Some(&'r') {
+                        if (c == 'b' || c == 'c') && chars.get(j) == Some(&'r') {
                             j += 1;
                         }
                         let hashes = chars[j..].iter().take_while(|&&x| x == '#').count();
-                        let is_raw = (c == 'r' || chars.get(i + 1) == Some(&'r'))
-                            && chars.get(j + hashes) == Some(&'"');
-                        let is_plain_byte = c == 'b' && hashes == 0 && chars.get(j) == Some(&'"');
+                        let raw_marked = c == 'r' || chars.get(i + 1) == Some(&'r');
+                        let is_raw = raw_marked && chars.get(j + hashes) == Some(&'"');
+                        let is_plain = !raw_marked && hashes == 0 && chars.get(j) == Some(&'"');
+                        let is_byte_char = c == 'b' && hashes == 0 && chars.get(j) == Some(&'\'');
                         if is_raw {
                             for _ in i..=(j + hashes) {
                                 code.push(' ');
                             }
                             i = j + hashes + 1;
                             mode = Mode::RawStr(hashes);
-                        } else if is_plain_byte {
+                        } else if is_plain {
                             code.push_str("  ");
                             i += 2;
                             mode = Mode::Str;
+                        } else if is_byte_char {
+                            // Mask the prefix; the quote itself is handled
+                            // by the char-literal branch on the next pass.
+                            code.push(' ');
+                            i += 1;
                         } else {
                             code.push(c);
                             i += 1;
@@ -315,6 +323,38 @@ mod tests {
         let lines = scan("#[cfg(test)] mod t { fn f() {} }\nfn lib() {}");
         assert!(lines[0].in_test);
         assert!(!lines[1].in_test);
+    }
+
+    #[test]
+    fn c_strings_are_masked_including_multiline() {
+        // Pre-fix, `cr#"` lexed as ident `c`, ident-continue `r`, code `#`,
+        // then a cooked string the interior quote closed early — leaking
+        // literal text into the code view of the following lines.
+        let src = "let plan = cr#\"shard \"alpha includes\nuse std::collections::HashMap;\nand Instant::now() markers\"#;\nafter();";
+        let lines = scan(src);
+        assert!(!lines[0].code.contains("alpha"));
+        assert!(
+            !lines[1].code.contains("HashMap"),
+            "phantom code in c-string"
+        );
+        assert!(
+            !lines[2].code.contains("Instant"),
+            "phantom code in c-string"
+        );
+        assert!(lines[2].code.ends_with(';'));
+        assert!(lines[3].code.contains("after()"));
+
+        let c = code_of("let s = c\"panic!\"; s.touch();");
+        assert!(!c[0].contains("panic!"));
+        assert!(c[0].contains("s.touch()"));
+    }
+
+    #[test]
+    fn byte_char_prefix_is_masked() {
+        let c = code_of("if b == b'x' { f(); }");
+        assert!(!c[0].contains("b'x'"));
+        assert!(!c[0].contains("'x'"));
+        assert!(c[0].contains("f()"));
     }
 
     #[test]

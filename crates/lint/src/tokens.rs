@@ -1,0 +1,540 @@
+//! A lossless, hand-rolled Rust tokenizer.
+//!
+//! The line [`scanner`](crate::scanner) is enough for lexical rules, but the
+//! dataflow passes ([`parse`](crate::parse), [`callgraph`](crate::callgraph),
+//! [`taint`](crate::taint)) need real token boundaries: function headers,
+//! call paths, turbofish, nested closures. The build environment has no
+//! registry access, so `syn`/`proc-macro2` are off the table; this module is
+//! a small scanner written directly against the byte stream.
+//!
+//! Invariants:
+//!
+//! * **Lossless tiling** — the tokens partition the input exactly: the
+//!   concatenation of every token's span reproduces the source byte for
+//!   byte. A property test in `tests/tokens_roundtrip.rs` holds this over
+//!   every source file in the workspace and over generated token soup.
+//! * **Never panics** — malformed input (unterminated strings or comments)
+//!   degrades to a single token running to end of file.
+//! * **Modern literals** — raw strings with any hash depth, byte strings,
+//!   C strings (`c"…"`, `cr#"…"#`, Rust 1.77), byte chars, raw identifiers
+//!   and nested block comments are all single tokens.
+//!
+//! Offsets are byte offsets into the source. Multi-byte UTF-8 sequences can
+//! only occur *inside* tokens (string/comment/identifier interiors), never
+//! across a token boundary, because every boundary byte is ASCII.
+
+/// The lexical class of one token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Spaces, tabs, newlines.
+    Whitespace,
+    /// `// …` to end of line (newline excluded).
+    LineComment,
+    /// `/* … */`, nested; unterminated runs to EOF.
+    BlockComment,
+    /// Cooked string literals: `"…"`, `b"…"`, `c"…"`.
+    Str,
+    /// Raw string literals: `r"…"`, `r#"…"#`, `br#"…"#`, `cr#"…"#`.
+    RawStr,
+    /// Char literals: `'x'`, `'\n'`, `b'x'`.
+    Char,
+    /// Lifetimes and loop labels: `'a`, `'static`, `'outer`.
+    Lifetime,
+    /// Identifiers and keywords, including raw identifiers (`r#type`).
+    Ident,
+    /// Numeric literals, including suffixes and exponents.
+    Number,
+    /// A single punctuation byte. Multi-byte operators (`::`, `->`) are
+    /// adjacent `Punct` tokens; consumers join them by span adjacency.
+    Punct,
+}
+
+impl TokenKind {
+    /// True for kinds whose text is literal or comment content — the kinds
+    /// the rule matchers must never look inside.
+    pub fn is_masked(self) -> bool {
+        matches!(
+            self,
+            TokenKind::LineComment
+                | TokenKind::BlockComment
+                | TokenKind::Str
+                | TokenKind::RawStr
+                | TokenKind::Char
+        )
+    }
+}
+
+/// One token: a kind plus its byte span and starting line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Lexical class.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte, inclusive.
+    pub start: usize,
+    /// Byte offset past the last byte, exclusive.
+    pub end: usize,
+    /// 1-based line number of the token's first byte.
+    pub line: usize,
+}
+
+impl Token {
+    /// The token's text within `src`. `src` must be the string the token
+    /// was produced from.
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        src.get(self.start..self.end).unwrap_or("")
+    }
+}
+
+/// Is this byte an identifier start? Non-ASCII bytes are treated as
+/// identifier bytes so Unicode identifiers stay single tokens.
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+/// Does this byte extend an identifier?
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    /// Emit a token covering `start..self.pos`, counting the newlines the
+    /// span crossed.
+    fn emit(&mut self, kind: TokenKind, start: usize, out: &mut Vec<Token>) {
+        let line = self.line;
+        self.line += self.src[start..self.pos]
+            .iter()
+            .filter(|&&b| b == b'\n')
+            .count();
+        out.push(Token {
+            kind,
+            start,
+            end: self.pos,
+            line,
+        });
+    }
+
+    /// Consume a cooked (escaped) string body after its opening quote,
+    /// through the closing quote or EOF.
+    fn cooked_string_body(&mut self) {
+        while self.pos < self.src.len() {
+            match self.src[self.pos] {
+                b'\\' => {
+                    // Skip the escape introducer and the escaped byte. A
+                    // backslash at EOF just ends the token.
+                    self.pos = (self.pos + 2).min(self.src.len());
+                }
+                b'"' => {
+                    self.pos += 1;
+                    return;
+                }
+                _ => self.pos += 1,
+            }
+        }
+    }
+
+    /// Consume a raw string body after its opening quote, through `"` plus
+    /// `hashes` hash bytes, or EOF.
+    fn raw_string_body(&mut self, hashes: usize) {
+        while self.pos < self.src.len() {
+            if self.src[self.pos] == b'"' {
+                let tail = &self.src[self.pos + 1..];
+                if tail.len() >= hashes && tail[..hashes].iter().all(|&b| b == b'#') {
+                    self.pos += 1 + hashes;
+                    return;
+                }
+            }
+            self.pos += 1;
+        }
+    }
+
+    /// At a `r`/`b`/`c` prefix byte: if a raw/cooked prefixed literal (or a
+    /// raw identifier, or a byte char) starts here, consume it and return
+    /// its kind. Otherwise leave the position untouched.
+    fn prefixed_literal(&mut self) -> Option<TokenKind> {
+        let b0 = self.src[self.pos];
+        // `br` / `cr` two-byte raw prefixes; `r` alone.
+        let raw_at = match b0 {
+            b'r' => Some(1),
+            b'b' | b'c' if self.peek(1) == Some(b'r') => Some(2),
+            _ => None,
+        };
+        if let Some(skip) = raw_at {
+            let mut hashes = 0;
+            while self.peek(skip + hashes) == Some(b'#') {
+                hashes += 1;
+            }
+            if self.peek(skip + hashes) == Some(b'"') {
+                self.pos += skip + hashes + 1;
+                self.raw_string_body(hashes);
+                return Some(TokenKind::RawStr);
+            }
+        }
+        // Raw identifier `r#ident`.
+        if b0 == b'r'
+            && self.peek(1) == Some(b'#')
+            && self.peek(2).map(is_ident_start).unwrap_or(false)
+        {
+            self.pos += 2;
+            while self.peek(0).map(is_ident_continue).unwrap_or(false) {
+                self.pos += 1;
+            }
+            return Some(TokenKind::Ident);
+        }
+        // Cooked prefixed strings `b"…"`, `c"…"`.
+        if (b0 == b'b' || b0 == b'c') && self.peek(1) == Some(b'"') {
+            self.pos += 2;
+            self.cooked_string_body();
+            return Some(TokenKind::Str);
+        }
+        // Byte char `b'x'`.
+        if b0 == b'b' && self.peek(1) == Some(b'\'') {
+            self.pos += 1;
+            self.char_or_lifetime();
+            return Some(TokenKind::Char);
+        }
+        None
+    }
+
+    /// At a `'`: consume either a char literal (returning `Char`) or a
+    /// lifetime/label (returning `Lifetime`).
+    fn char_or_lifetime(&mut self) -> TokenKind {
+        debug_assert_eq!(self.peek(0), Some(b'\''));
+        match self.peek(1) {
+            // Escaped char literal: consume through the closing quote.
+            Some(b'\\') => {
+                self.pos += 2; // quote + backslash
+                if self.pos < self.src.len() {
+                    self.pos += 1; // the escaped byte
+                }
+                while self.pos < self.src.len() && self.src[self.pos] != b'\'' {
+                    self.pos += 1;
+                }
+                self.pos = (self.pos + 1).min(self.src.len());
+                TokenKind::Char
+            }
+            Some(next) => {
+                // Width of the single character between the quotes; multi-
+                // byte UTF-8 chars ('é') are one character.
+                let width = if next < 0x80 {
+                    1
+                } else {
+                    utf8_width(next) as usize
+                };
+                if next != b'\'' && self.peek(1 + width) == Some(b'\'') {
+                    self.pos += 2 + width;
+                    TokenKind::Char
+                } else {
+                    // Lifetime or label: `'` plus an identifier run.
+                    self.pos += 1;
+                    while self.peek(0).map(is_ident_continue).unwrap_or(false) {
+                        self.pos += 1;
+                    }
+                    TokenKind::Lifetime
+                }
+            }
+            // A quote at EOF degrades to a lone punct-like lifetime.
+            None => {
+                self.pos += 1;
+                TokenKind::Lifetime
+            }
+        }
+    }
+
+    /// At a digit: consume a numeric literal, including `_` separators,
+    /// radix prefixes, one fractional part, exponent signs and type
+    /// suffixes. Method calls on integers (`1.max(2)`) and ranges (`1..5`)
+    /// stop before the dot.
+    fn number(&mut self) {
+        let mut seen_dot = false;
+        // Radix-prefixed literals (`0x…`, `0b…`, `0o…`) contain no
+        // exponent, so an e/E inside them never absorbs a following sign.
+        let radix_prefixed = self.peek(0) == Some(b'0')
+            && matches!(
+                self.peek(1),
+                Some(b'x') | Some(b'X') | Some(b'b') | Some(b'o')
+            );
+        self.pos += 1;
+        loop {
+            match self.peek(0) {
+                Some(b) if is_ident_continue(b) => self.pos += 1,
+                // Exponent sign, only directly after an e/E in a decimal
+                // literal (`1e-5`, `2.5E+8`).
+                Some(b'+') | Some(b'-')
+                    if !radix_prefixed
+                        && matches!(self.src.get(self.pos - 1), Some(b'e') | Some(b'E')) =>
+                {
+                    self.pos += 1;
+                }
+                Some(b'.') if !seen_dot => {
+                    match self.peek(1) {
+                        // `1..5` is a range, `1.max()` a method call.
+                        Some(next) if next == b'.' || is_ident_start(next) => return,
+                        _ => {
+                            seen_dot = true;
+                            self.pos += 1;
+                        }
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+}
+
+/// Expected UTF-8 sequence length from a leading byte; 1 for malformed
+/// leads, so the lexer never stalls.
+fn utf8_width(lead: u8) -> u8 {
+    match lead {
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        0xF0..=0xF7 => 4,
+        _ => 1,
+    }
+}
+
+/// Tokenize a whole source file. The result tiles the input: token spans
+/// are contiguous, in order, and cover every byte.
+pub fn tokenize(src: &str) -> Vec<Token> {
+    let mut lx = Lexer {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+    };
+    let mut out = Vec::with_capacity(src.len() / 4);
+    while lx.pos < lx.src.len() {
+        let start = lx.pos;
+        let b = lx.src[lx.pos];
+        let kind = match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                while matches!(
+                    lx.peek(0),
+                    Some(b' ') | Some(b'\t') | Some(b'\r') | Some(b'\n')
+                ) {
+                    lx.pos += 1;
+                }
+                TokenKind::Whitespace
+            }
+            b'/' if lx.peek(1) == Some(b'/') => {
+                while lx.peek(0).map(|b| b != b'\n').unwrap_or(false) {
+                    lx.pos += 1;
+                }
+                TokenKind::LineComment
+            }
+            b'/' if lx.peek(1) == Some(b'*') => {
+                lx.pos += 2;
+                let mut depth = 1usize;
+                while depth > 0 && lx.pos < lx.src.len() {
+                    if lx.peek(0) == Some(b'*') && lx.peek(1) == Some(b'/') {
+                        depth -= 1;
+                        lx.pos += 2;
+                    } else if lx.peek(0) == Some(b'/') && lx.peek(1) == Some(b'*') {
+                        depth += 1;
+                        lx.pos += 2;
+                    } else {
+                        lx.pos += 1;
+                    }
+                }
+                TokenKind::BlockComment
+            }
+            b'"' => {
+                lx.pos += 1;
+                lx.cooked_string_body();
+                TokenKind::Str
+            }
+            b'r' | b'b' | b'c' => match lx.prefixed_literal() {
+                Some(kind) => kind,
+                None => {
+                    while lx.peek(0).map(is_ident_continue).unwrap_or(false) {
+                        lx.pos += 1;
+                    }
+                    TokenKind::Ident
+                }
+            },
+            b'\'' => lx.char_or_lifetime(),
+            _ if is_ident_start(b) => {
+                while lx.peek(0).map(is_ident_continue).unwrap_or(false) {
+                    lx.pos += 1;
+                }
+                TokenKind::Ident
+            }
+            _ if b.is_ascii_digit() => {
+                lx.number();
+                TokenKind::Number
+            }
+            _ => {
+                lx.pos += 1;
+                TokenKind::Punct
+            }
+        };
+        lx.emit(kind, start, &mut out);
+    }
+    out
+}
+
+/// Rebuild the scanner-style per-line masked view from tokens: literal and
+/// comment text becomes spaces, everything else keeps its characters. Used
+/// by the token-vs-scanner agreement test; kept here so both test and
+/// future passes share one definition of "masked".
+pub fn masked_lines(src: &str) -> Vec<String> {
+    if src.is_empty() {
+        return Vec::new(); // match `str::lines` on empty input
+    }
+    let mut lines: Vec<String> = Vec::new();
+    let mut cur = String::new();
+    for tok in tokenize(src) {
+        let text = tok.text(src);
+        for ch in text.chars() {
+            if ch == '\n' {
+                lines.push(std::mem::take(&mut cur));
+            } else if tok.kind.is_masked() {
+                cur.push(' ');
+            } else {
+                cur.push(ch);
+            }
+        }
+    }
+    lines.push(cur);
+    // `str::lines` drops a trailing newline's empty remainder; match it.
+    if src.ends_with('\n') {
+        lines.pop();
+    }
+    lines
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        tokenize(src)
+            .into_iter()
+            .map(|t| (t.kind, t.text(src).to_string()))
+            .collect()
+    }
+
+    fn roundtrip(src: &str) {
+        let joined: String = tokenize(src).iter().map(|t| t.text(src)).collect();
+        assert_eq!(joined, src, "tokens must tile the input losslessly");
+    }
+
+    #[test]
+    fn basic_items_tokenize() {
+        let toks = kinds("pub fn f(x: u64) -> u64 { x + 1 }");
+        assert_eq!(toks[0], (TokenKind::Ident, "pub".to_string()));
+        assert_eq!(toks[2], (TokenKind::Ident, "fn".to_string()));
+        assert!(toks.contains(&(TokenKind::Number, "1".to_string())));
+        roundtrip("pub fn f(x: u64) -> u64 { x + 1 }");
+    }
+
+    #[test]
+    fn strings_and_comments_are_single_masked_tokens() {
+        let src = "let a = \"x \\\" y\"; // trailing\n/* block /* nested */ done */ b";
+        let toks = kinds(src);
+        assert!(toks.contains(&(TokenKind::Str, "\"x \\\" y\"".to_string())));
+        assert!(toks.contains(&(TokenKind::LineComment, "// trailing".to_string())));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::BlockComment && t.contains("nested")));
+        roundtrip(src);
+    }
+
+    #[test]
+    fn raw_and_c_strings_span_lines() {
+        for src in [
+            "let a = r#\"one \"two\"\nthree\"#; after();",
+            "let a = br##\"bytes \"# inside\nmore\"##; after();",
+            "let a = cr#\"c raw \"q\"\nuse std::collections::HashMap;\"#; after();",
+            "let a = c\"c cooked\nstill\"; after();",
+        ] {
+            roundtrip(src);
+            let toks = tokenize(src);
+            let masked_text: String = toks
+                .iter()
+                .filter(|t| t.kind.is_masked())
+                .map(|t| t.text(src))
+                .collect();
+            assert!(
+                masked_text.contains('\n'),
+                "literal should span lines in {src:?}"
+            );
+            assert!(
+                toks.iter()
+                    .any(|t| t.kind == TokenKind::Ident && t.text(src) == "after"),
+                "code after the literal must resurface in {src:?}"
+            );
+            assert!(
+                !toks
+                    .iter()
+                    .any(|t| !t.kind.is_masked() && t.text(src).contains("HashMap")),
+                "literal interior leaked into code view in {src:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn chars_lifetimes_and_raw_idents() {
+        let src = "fn f<'a>(c: char) { if c == '{' { g('\\n', b'x', 'é'); } let r#type = 'l'; }";
+        roundtrip(src);
+        let toks = kinds(src);
+        assert!(toks.contains(&(TokenKind::Lifetime, "'a".to_string())));
+        assert!(toks.contains(&(TokenKind::Char, "'{'".to_string())));
+        assert!(toks.contains(&(TokenKind::Char, "'\\n'".to_string())));
+        assert!(toks.contains(&(TokenKind::Char, "b'x'".to_string())));
+        assert!(toks.contains(&(TokenKind::Char, "'é'".to_string())));
+        assert!(toks.contains(&(TokenKind::Ident, "r#type".to_string())));
+    }
+
+    #[test]
+    fn numbers_keep_suffixes_and_stop_at_ranges() {
+        let src = "let a = 1_000u64 + 0x1f + 1.5e-9 + 2f64; let r = 1..5; let m = 1.max(2);";
+        roundtrip(src);
+        let toks = kinds(src);
+        assert!(toks.contains(&(TokenKind::Number, "1_000u64".to_string())));
+        assert!(toks.contains(&(TokenKind::Number, "0x1f".to_string())));
+        assert!(toks.contains(&(TokenKind::Number, "1.5e-9".to_string())));
+        assert!(toks.contains(&(TokenKind::Number, "2f64".to_string())));
+        assert!(
+            toks.contains(&(TokenKind::Number, "1".to_string())),
+            "range lhs"
+        );
+        assert!(toks.contains(&(TokenKind::Ident, "max".to_string())));
+    }
+
+    #[test]
+    fn unterminated_literals_degrade_to_eof() {
+        for src in ["let a = \"open", "let a = r#\"open", "/* open", "let c = '"] {
+            roundtrip(src);
+        }
+    }
+
+    #[test]
+    fn line_numbers_track_newlines_inside_tokens() {
+        let src = "a\n/* x\ny */\nb";
+        let toks = tokenize(src);
+        let b = toks
+            .iter()
+            .find(|t| t.text(src) == "b")
+            .map(|t| t.line)
+            .unwrap_or(0);
+        assert_eq!(b, 4);
+    }
+
+    #[test]
+    fn masked_lines_match_simple_sources() {
+        let m = masked_lines("let a = \"panic!\"; // c\nb();\n");
+        assert_eq!(m.len(), 2);
+        assert!(!m[0].contains("panic!"));
+        assert!(m[0].contains("let a ="));
+        assert_eq!(m[1], "b();");
+    }
+}

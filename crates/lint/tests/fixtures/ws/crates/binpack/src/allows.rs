@@ -1,0 +1,7 @@
+//! Fixture: a stale suppression — the finding it once covered is gone, so
+//! RL010 must flag it for removal.
+
+pub fn tidy(total: u64) -> u64 {
+    // lint:allow(RL006, historical: the cast below was removed in a refactor)
+    total + 1
+}

@@ -1,0 +1,13 @@
+//! Fixture: C-string literals (`c"…"`, `cr#"…"#`) must be masked like any
+//! other literal. Before the scanner understood the `c` prefix, `cr#"`
+//! lexed as two identifier characters and a `#`, then the first quote
+//! opened a cooked string that the interior quote closed early — leaking
+//! the following literal lines into the code view as phantom RL003/RL005
+//! hits in this determinism-sensitive crate.
+
+pub fn shard_banner() -> usize {
+    let plan = cr#"shard "alpha includes
+use std::collections::HashMap;
+and Instant::now() markers"#;
+    plan.to_bytes().len()
+}

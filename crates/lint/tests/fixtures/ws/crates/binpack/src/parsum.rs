@@ -1,0 +1,7 @@
+//! Fixture: order-sensitive parallel float accumulation (RL008). Work
+//! stealing changes the association order, so the same input can produce
+//! different sums across runs.
+
+pub fn total_gib(sizes: &[f64]) -> f64 {
+    sizes.par_iter().cloned().reduce(|| 0.0, |a, b| a + b)
+}

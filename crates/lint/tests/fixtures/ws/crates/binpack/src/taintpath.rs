@@ -1,0 +1,16 @@
+//! Fixture: a wall-clock read two calls deep behind a public packing API.
+//! RL005 fires at the read itself; RL007 must report the complete
+//! three-hop path from the public sink down to the source.
+
+pub fn plan_digest(seed: u64) -> u64 {
+    seed ^ digest_stamp()
+}
+
+fn digest_stamp() -> u64 {
+    digest_entropy()
+}
+
+fn digest_entropy() -> u64 {
+    let t = std::time::Instant::now();
+    t.elapsed().as_nanos() as u64
+}

@@ -1,0 +1,7 @@
+//! Fixture: a determinism-sensitive public API that inherits an
+//! environment read from another crate — transitive, so only RL007 can
+//! see it.
+
+pub fn sampling_threshold() -> u64 {
+    40 + lint::env_knob()
+}

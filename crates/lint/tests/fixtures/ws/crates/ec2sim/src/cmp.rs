@@ -1,0 +1,7 @@
+//! Fixture: a non-total comparator in a sort position. NaN makes the
+//! order partial, so results depend on input order and the unwrap can
+//! panic — RL009 (and the unwrap itself is RL001).
+
+pub fn rank_instances(quality: &mut [f64]) {
+    quality.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}

@@ -1,0 +1,10 @@
+//! Fixture: an environment read in a non-sensitive crate. Harmless here,
+//! but a determinism-sensitive crate that calls it inherits the taint
+//! (see `corpus/src/knobs.rs`).
+
+pub fn env_knob() -> u64 {
+    match std::env::var("RESHAPE_KNOB") {
+        Ok(v) => v.len() as u64,
+        Err(_) => 0,
+    }
+}

@@ -1,0 +1,9 @@
+//! Fixture: `textapps` output feeds the probe measurements every model is
+//! fitted on, so it is determinism-sensitive — hashed containers fire
+//! RL003 here too.
+
+use std::collections::HashMap;
+
+pub fn tag_counts() -> HashMap<String, u64> {
+    HashMap::new()
+}

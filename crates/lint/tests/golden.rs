@@ -1,7 +1,7 @@
 //! Golden-findings test over the fixture tree: every rule must fire at
 //! least once, at exactly the pinned locations, and the exemption
-//! machinery (tests, bench crate, suppressions, strings, comments) must
-//! hold.
+//! machinery (tests, bench crate, suppressions, strings, comments,
+//! c-strings) must hold. The three-hop RL007 path is asserted verbatim.
 
 use std::path::PathBuf;
 
@@ -19,6 +19,7 @@ fn report() -> lint::Report {
 #[test]
 fn fixture_findings_match_golden_list() {
     let expected: &[(&str, usize, &str)] = &[
+        ("crates/binpack/src/allows.rs", 5, "RL010"),
         ("crates/binpack/src/bad.rs", 3, "RL003"),
         ("crates/binpack/src/bad.rs", 6, "RL001"),
         ("crates/binpack/src/bad.rs", 7, "RL001"),
@@ -29,14 +30,24 @@ fn fixture_findings_match_golden_list() {
         ("crates/binpack/src/bad.rs", 27, "RL003"),
         ("crates/binpack/src/bad.rs", 28, "RL003"),
         ("crates/binpack/src/bad.rs", 36, "RL001"), // reasonless allow does not suppress
+        ("crates/binpack/src/bad.rs", 36, "RL010"), // ... and is itself flagged
         ("crates/binpack/src/dispatch.rs", 6, "RL005"),
+        ("crates/binpack/src/parsum.rs", 6, "RL008"),
+        ("crates/binpack/src/taintpath.rs", 5, "RL007"),
+        ("crates/binpack/src/taintpath.rs", 14, "RL005"),
         ("crates/corpus/src/cast.rs", 4, "RL006"),
+        ("crates/corpus/src/knobs.rs", 5, "RL007"),
+        ("crates/ec2sim/src/cmp.rs", 6, "RL001"),
+        ("crates/ec2sim/src/cmp.rs", 6, "RL009"),
         ("crates/ec2sim/src/faults_clock.rs", 5, "RL005"),
         ("crates/ec2sim/src/map.rs", 3, "RL003"),
         ("crates/ec2sim/src/map.rs", 4, "RL003"),
         ("crates/obs/src/clock.rs", 5, "RL005"),
         ("crates/provision/src/clock.rs", 4, "RL005"),
         ("crates/sched/src/clock.rs", 6, "RL005"),
+        ("crates/textapps/src/tagmap.rs", 5, "RL003"),
+        ("crates/textapps/src/tagmap.rs", 7, "RL003"),
+        ("crates/textapps/src/tagmap.rs", 8, "RL003"),
         ("src/lib.rs", 4, "RL002"),
     ];
     let actual: Vec<(String, usize, String)> = report()
@@ -60,6 +71,42 @@ fn every_rule_fires_at_least_once_in_fixtures() {
             rule.id
         );
     }
+}
+
+#[test]
+fn rl007_reports_the_exact_three_hop_path() {
+    let report = report();
+    let finding = report
+        .active()
+        .find(|f| f.rule == "RL007" && f.file == "crates/binpack/src/taintpath.rs")
+        .expect("the seeded three-hop taint path must be found");
+    assert_eq!(finding.line, 5, "anchored at the public sink fn");
+    assert_eq!(
+        finding.trace,
+        vec![
+            "binpack::plan_digest (crates/binpack/src/taintpath.rs:5)".to_string(),
+            "binpack::digest_stamp (crates/binpack/src/taintpath.rs:9)".to_string(),
+            "binpack::digest_entropy (crates/binpack/src/taintpath.rs:13)".to_string(),
+            "Instant::now() at crates/binpack/src/taintpath.rs:14".to_string(),
+        ]
+    );
+    assert!(finding
+        .message
+        .contains("binpack::plan_digest -> binpack::digest_stamp -> binpack::digest_entropy"));
+}
+
+#[test]
+fn rl007_crosses_crate_boundaries() {
+    let report = report();
+    let finding = report
+        .active()
+        .find(|f| f.rule == "RL007" && f.file == "crates/corpus/src/knobs.rs")
+        .expect("the cross-crate env taint must be found");
+    assert!(finding.message.contains("an environment read"));
+    assert!(finding
+        .trace
+        .iter()
+        .any(|hop| hop.contains("crates/lint/src/knob.rs")));
 }
 
 #[test]
@@ -100,14 +147,71 @@ fn exempt_locations_stay_silent() {
             .any(|f| f.file.ends_with("bad.rs") && (38..=42).contains(&f.line)),
         "a rule fired on masked string/comment text"
     );
+    // The c-string fixture must be completely silent: pre-fix the scanner
+    // leaked its literal lines into the code view as phantom RL003/RL005.
+    assert!(
+        !report.findings.iter().any(|f| f.file.ends_with("cstr.rs")),
+        "phantom finding inside a c-string literal"
+    );
 }
 
 #[test]
 fn json_report_is_well_formed() {
     let json = report().to_json();
-    assert!(json.contains("\"schema\": \"reshape-lint/1\""));
-    assert!(json.contains("\"errors\": 19"));
+    assert!(json.contains("\"schema\": \"reshape-lint/2\""));
+    assert!(json.contains("\"errors\": 30"));
     assert!(json.contains("\"suppressed\": 1"));
+    assert!(json.contains("\"RL007\": 2"));
+    assert!(json.contains("\"RL010\": 2"));
     // Deterministic: a second render is byte-identical.
     assert_eq!(json, report().to_json());
+}
+
+#[test]
+fn sarif_export_of_fixtures_is_valid_and_complete() {
+    let report = report();
+    let text = lint::sarif::render(&report);
+    let doc = lint::baseline::parse_json(&text).expect("SARIF must be valid JSON");
+    let serde::Value::Object(root) = doc else {
+        panic!("SARIF root must be an object");
+    };
+    let results = root
+        .iter()
+        .find(|(k, _)| k == "runs")
+        .and_then(|(_, v)| match v {
+            serde::Value::Array(runs) => runs.first(),
+            _ => None,
+        })
+        .and_then(|run| match run {
+            serde::Value::Object(fields) => fields
+                .iter()
+                .find(|(k, _)| k == "results")
+                .map(|(_, v)| v.clone()),
+            _ => None,
+        });
+    let Some(serde::Value::Array(results)) = results else {
+        panic!("SARIF must carry runs[0].results");
+    };
+    assert_eq!(
+        results.len(),
+        report.findings.len(),
+        "every finding (suppressed included) becomes a SARIF result"
+    );
+}
+
+#[test]
+fn baseline_roundtrip_gates_cleanly_on_fixtures() {
+    let report = report();
+    let baseline = lint::baseline::parse(&lint::baseline::render(&report))
+        .expect("own baseline must parse back");
+    assert!(
+        lint::baseline::diff(&report, &baseline).is_empty(),
+        "a freshly captured baseline must gate clean"
+    );
+    // An empty baseline reports every active finding as new.
+    let empty = lint::baseline::Baseline::default();
+    assert_eq!(
+        lint::baseline::diff(&report, &empty).len(),
+        report.active().count()
+    );
 }

@@ -33,6 +33,7 @@
 #![forbid(unsafe_code)]
 
 pub mod check;
+pub mod container;
 mod derive;
 mod dispatch;
 mod dp;
@@ -43,11 +44,16 @@ mod pack;
 mod parallel;
 mod segtree;
 mod stats;
+pub mod stream;
 mod subset_sum;
 
 pub use check::{
     check_k_packing, check_packing, check_packing_with, replay_deterministic, CheckOptions,
     CheckViolation,
+};
+pub use container::{
+    container_from_bin, crc32, member_name_hash, read_container_file, Container, ContainerError,
+    ContainerWriter, MemberEntry, FORMAT_VERSION, MAGIC,
 };
 pub use derive::{derive_merged, derive_probe_chain, derive_probe_chain_par};
 pub use dispatch::{Calibration, Kernel};
@@ -62,6 +68,10 @@ pub use parallel::{
     merge_shard_packings, pack_sharded, shard_ranges, MergePolicy, Parallelism, ShardedConfig,
 };
 pub use stats::PackingStats;
+pub use stream::{
+    compact_underfull, CompactionStats, SealCause, SealPolicy, SealedSegment, SegmentSummary,
+    StreamConfig, StreamOutcome, StreamPacker, StreamStats,
+};
 pub use subset_sum::naive_subset_sum_first_fit;
 
 /// Strategy selector for packing algorithms, useful for ablation benches and

@@ -37,11 +37,13 @@
 
 #![forbid(unsafe_code)]
 
+mod ingest;
 mod multi_tenant;
 mod pipeline;
 mod reshape_step;
 mod workload;
 
+pub use ingest::{reshape_streaming, IngestConfig};
 pub use multi_tenant::{run_multi_tenant, MultiTenantConfig};
 pub use pipeline::{
     FitWeighting, ModelSelection, Pipeline, PipelineConfig, PipelineError, PipelineReport,
@@ -53,9 +55,11 @@ pub use reshape_step::{
 };
 pub use workload::{App, Workload};
 
-// Re-export the pieces users compose with.
-pub use binpack::{Algorithm, PackingStats, Parallelism};
-pub use corpus::{FileSpec, Manifest};
+// Re-export the pieces users compose with. (`corpus::ArrivalTrace` is not
+// re-exported: the name would collide with `sched::ArrivalTrace` below —
+// use the `corpus::` path for the file-arrival trace.)
+pub use binpack::{Algorithm, MergePolicy, PackingStats, Parallelism, SealPolicy};
+pub use corpus::{ArrivalConfig, ArrivalOrder, FileSpec, Manifest};
 pub use ec2sim::{Cloud, CloudConfig, FaultConfig, FaultPlan};
 pub use perfmodel::{Fit, ModelKind, ProbeCampaign, UnitSize};
 pub use provision::{DegradedReport, ExecutionReport, RetryPolicy, StagingTier, Strategy};

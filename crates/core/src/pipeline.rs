@@ -92,6 +92,12 @@ pub struct PipelineConfig {
     /// off in release; violations surface as
     /// [`PipelineError::InvariantViolation`].
     pub validate: bool,
+    /// Run the reshape step through the streaming-ingest sink (seeded
+    /// arrival trace → online packer → seal/merge/compact) instead of the
+    /// batch pack. `None` (the default) keeps the batch path. Same
+    /// invariants either way: bytes conserved, deterministic in the seeds,
+    /// byte-identical logs across [`Parallelism`] settings.
+    pub ingest: Option<crate::ingest::IngestConfig>,
     /// Inject a seeded fault schedule (generated from the cloud seed) into
     /// the simulated cloud. `None` (the default) runs fault-free.
     pub faults: Option<FaultConfig>,
@@ -120,6 +126,7 @@ impl Default for PipelineConfig {
             screen_fleet: true,
             parallelism: Parallelism::default(),
             validate: cfg!(debug_assertions),
+            ingest: None,
             faults: None,
             retry: RetryPolicy::default(),
             obs: Obs::default(),
@@ -276,7 +283,14 @@ impl Pipeline {
         // planning work, so the span opens and closes at the same simulated
         // instant; shard events carry the per-range accounting instead.
         let span = obs.span_start("pipeline.reshape", cloud.now());
-        let reshape = reshape_manifest_par(&workload.manifest, unit, self.config.parallelism);
+        let reshape = match &self.config.ingest {
+            // Streaming sink: replay the seeded arrival trace through the
+            // online packer. Inherently sequential (arrivals are a serial
+            // stream), so `parallelism` is not consulted — which also
+            // keeps the log byte-identical across settings for free.
+            Some(ingest) => crate::ingest::reshape_streaming(&workload.manifest, unit, ingest, obs),
+            None => reshape_manifest_par(&workload.manifest, unit, self.config.parallelism),
+        };
         if self.config.validate {
             validate_reshape(&workload.manifest, &reshape)?;
         }
@@ -296,9 +310,12 @@ impl Pipeline {
                 obs.shard("reshape", i as u64, (hi - lo) as u64, bytes);
             }
             // Pack-route accounting: which shards the reshape pack fanned
-            // out over (empty below the sharded-pack threshold). Also a pure
-            // function of the input manifest.
-            if workload.manifest.len() >= crate::reshape_step::PAR_PACK_MIN_ITEMS {
+            // out over (empty below the sharded-pack threshold, and not
+            // applicable to the streaming sink, whose segment accounting is
+            // the Seal events). Also a pure function of the input manifest.
+            if self.config.ingest.is_none()
+                && workload.manifest.len() >= crate::reshape_step::PAR_PACK_MIN_ITEMS
+            {
                 for (i, (lo, hi)) in binpack::shard_ranges(
                     workload.manifest.len(),
                     crate::reshape_step::RESHAPE_PACK_SHARDS,

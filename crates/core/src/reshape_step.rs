@@ -173,8 +173,9 @@ pub fn reshape_manifest_par(
 }
 
 /// Collapse one bin into a unit-file spec carrying the size-weighted mean
-/// complexity of its members.
-fn bin_to_file(index: usize, bin: &binpack::Bin, manifest: &Manifest) -> FileSpec {
+/// complexity of its members. Shared with the streaming-ingest sink
+/// ([`crate::ingest`]), which produces bins with the same id convention.
+pub(crate) fn bin_to_file(index: usize, bin: &binpack::Bin, manifest: &Manifest) -> FileSpec {
     let mut weighted = 0.0f64;
     for it in &bin.items {
         let f = &manifest.files[it.id as usize];

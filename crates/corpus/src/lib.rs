@@ -19,6 +19,7 @@
 
 #![forbid(unsafe_code)]
 
+mod arrival;
 mod books;
 mod dist;
 mod hist;
@@ -27,6 +28,7 @@ mod presets;
 mod sample;
 mod text;
 
+pub use arrival::{ArrivalConfig, ArrivalOrder, ArrivalTrace, FileEvent};
 pub use books::{agnes_grey_like, dubliners_like, Book};
 pub use dist::{EmpiricalHistogram, LogNormal, Normal, Pareto, SizeDistribution, Zipf};
 pub use hist::{histogram, HistogramBin};

@@ -87,8 +87,13 @@ pub const DETERMINISM_SENSITIVE: &[&str] = &[
 /// including the simulator, whose clock is simulated seconds and whose
 /// fault schedules must replay bit-for-bit. `textapps` processing is pure
 /// text transformation; any timing of it belongs in the bench crate.
+/// `core` and `corpus` joined when the streaming-ingest path landed: the
+/// arrival trace and sealing clock are simulated seconds, so a wall-clock
+/// read anywhere on that path breaks same-seed replay.
 pub const CLOCK_FREE: &[&str] = &[
     "binpack",
+    "core",
+    "corpus",
     "ec2sim",
     "obs",
     "perfmodel",

@@ -1,0 +1,12 @@
+//! Fixture: an ingest-shaped public API whose sealing deadline leaks a
+//! wall-clock read through a helper. `core` is CLOCK_FREE, so RL005 fires
+//! at the read and RL007 reports the taint path from the public sink.
+
+pub fn admit_arrival(at_secs: f64) -> f64 {
+    at_secs + seal_deadline()
+}
+
+fn seal_deadline() -> f64 {
+    let started = std::time::Instant::now();
+    started.elapsed().as_secs_f64()
+}

@@ -35,6 +35,8 @@ fn fixture_findings_match_golden_list() {
         ("crates/binpack/src/parsum.rs", 6, "RL008"),
         ("crates/binpack/src/taintpath.rs", 5, "RL007"),
         ("crates/binpack/src/taintpath.rs", 14, "RL005"),
+        ("crates/core/src/ingest.rs", 5, "RL007"),
+        ("crates/core/src/ingest.rs", 10, "RL005"),
         ("crates/corpus/src/cast.rs", 4, "RL006"),
         ("crates/corpus/src/knobs.rs", 5, "RL007"),
         ("crates/ec2sim/src/cmp.rs", 6, "RL001"),
@@ -110,6 +112,24 @@ fn rl007_crosses_crate_boundaries() {
 }
 
 #[test]
+fn rl007_covers_the_ingest_path() {
+    // The streaming-ingest registration: `core` is CLOCK_FREE, and the
+    // taint tracker must walk an ingest-shaped pub API down to the clock.
+    let report = report();
+    let finding = report
+        .active()
+        .find(|f| f.rule == "RL007" && f.file == "crates/core/src/ingest.rs")
+        .expect("the ingest-path taint must be found");
+    assert_eq!(finding.line, 5, "anchored at the public ingest sink");
+    assert!(finding
+        .message
+        .contains("core::admit_arrival -> core::seal_deadline"));
+    assert!(report
+        .active()
+        .any(|f| f.rule == "RL005" && f.file == "crates/core/src/ingest.rs" && f.line == 10));
+}
+
+#[test]
 fn suppression_with_reason_is_honoured() {
     let report = report();
     let suppressed: Vec<_> = report.findings.iter().filter(|f| f.suppressed).collect();
@@ -159,9 +179,9 @@ fn exempt_locations_stay_silent() {
 fn json_report_is_well_formed() {
     let json = report().to_json();
     assert!(json.contains("\"schema\": \"reshape-lint/2\""));
-    assert!(json.contains("\"errors\": 30"));
+    assert!(json.contains("\"errors\": 32"));
     assert!(json.contains("\"suppressed\": 1"));
-    assert!(json.contains("\"RL007\": 2"));
+    assert!(json.contains("\"RL007\": 3"));
     assert!(json.contains("\"RL010\": 2"));
     // Deterministic: a second render is byte-identical.
     assert_eq!(json, report().to_json());

@@ -11,7 +11,9 @@ use serde::Serialize;
 
 /// Version stamped into the `RunStart` event. Bump on any change to the
 /// shape of existing events.
-pub const SCHEMA_VERSION: u32 = 1;
+///
+/// * v2: added the `Seal` variant (streaming-ingest segment seals).
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// One log record. `seq` is the global emission ordinal (0-based), so a
 /// log can be validated as gap-free and merged records can be re-sorted.
@@ -90,6 +92,24 @@ pub enum EventKind {
         instance: Option<u64>,
         /// Target volume ordinal, if the fault targets a volume.
         volume: Option<u64>,
+    },
+    /// A streaming-ingest segment sealed: a contiguous run of the arrival
+    /// trace was batch-packed into immutable bins. `at` is the simulated
+    /// seal time from the arrival trace — a pure function of the seed, so
+    /// seal events keep same-seed logs byte-identical.
+    Seal {
+        /// Segment ordinal within the ingest run (0-based).
+        segment: u64,
+        /// Stable seal-cause label: `full`, `aged`, `explicit` or `flush`.
+        cause: String,
+        /// Simulated seal time, seconds.
+        at: f64,
+        /// Items in the sealed segment.
+        items: u64,
+        /// Payload bytes in the sealed segment.
+        bytes: u64,
+        /// Bins the segment packed into.
+        bins: u64,
     },
     /// Per-shard accounting of a data-parallel stage. Shards are
     /// deterministic contiguous ranges of the input (see

@@ -238,6 +238,18 @@ impl Obs {
         });
     }
 
+    /// Record a streaming-ingest segment seal.
+    pub fn seal(&self, segment: u64, cause: &str, at: f64, items: u64, bytes: u64, bins: u64) {
+        self.push(EventKind::Seal {
+            segment,
+            cause: cause.to_string(),
+            at,
+            items,
+            bytes,
+            bins,
+        });
+    }
+
     /// Record per-shard accounting of a data-parallel stage.
     pub fn shard(&self, stage: &'static str, shard: u64, items: u64, bytes: u64) {
         self.push(EventKind::Shard {
@@ -336,6 +348,7 @@ mod tests {
         obs.observe("h", 3.0);
         obs.fault("instance_crash", 1.0, Some(0), None);
         obs.shard("reshape", 0, 10, 1000);
+        obs.seal(0, "flush", 2.0, 10, 1000, 2);
         assert!(!obs.is_recording());
         assert_eq!(obs.event_count(), 0);
         assert!(obs.to_ndjson().is_empty());
@@ -406,6 +419,22 @@ mod tests {
         for (i, line) in log.lines().enumerate() {
             assert!(line.contains(&format!("\"seq\":{i}")), "line {i}: {line}");
         }
+    }
+
+    #[test]
+    fn seal_events_render_and_replay_identically() {
+        let run = || {
+            let obs = Obs::recording(11);
+            obs.seal(0, "full", 12.5, 128, 65_536, 4);
+            obs.seal(1, "flush", 20.0, 3, 512, 1);
+            obs.to_ndjson()
+        };
+        let a = run();
+        assert_eq!(a, run());
+        assert_eq!(a.lines().count(), 3);
+        assert!(a.contains("\"Seal\""));
+        assert!(a.contains("\"cause\":\"full\""));
+        assert!(a.contains("\"bins\":4"));
     }
 
     #[test]

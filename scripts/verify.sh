@@ -52,6 +52,11 @@ if [[ $fast -eq 0 ]]; then
   # threshold, and persists the report CI uploads.
   echo "==> perf gate (writes results/BENCH_packing_smoke.json)"
   SMOKE=1 cargo run --release -q -p bench --bin perf_report -- --gate
+  # Streaming-ingest smoke: replays the seeded arrival trace under each
+  # sealing policy, asserts byte-identical replay and flush-only ≡ batch,
+  # then persists the throughput report CI uploads.
+  echo "==> ingest report (writes results/BENCH_ingest.json)"
+  SMOKE=1 cargo run --release -q -p bench --bin ingest_report
 fi
 
 echo "verify: OK"

@@ -520,6 +520,56 @@ mod tests {
     }
 
     #[test]
+    fn tick_then_admit_at_same_timestamp_seals_once() {
+        // A timer tick and an arrival landing on the same simulated
+        // timestamp must produce exactly one aged seal: the tick seals the
+        // over-age segment, and the admit's own age check then sees an
+        // empty pending buffer (which never seals). A second seal here
+        // would emit a phantom empty segment into the event log.
+        let mut cfg = StreamConfig::new(1000);
+        cfg.seal = SealPolicy::aged(2.0);
+        let mut p = StreamPacker::new(cfg);
+        p.admit(Item::new(0, 10), 0.0);
+        p.tick(2.0);
+        assert_eq!(p.stats().seals_aged, 1);
+        p.admit(Item::new(1, 20), 2.0);
+        assert_eq!(p.stats().seals_aged, 1, "same-timestamp double seal");
+        assert_eq!(p.pending_items(), 1);
+        // The new arrival starts a fresh age window at t = 2.
+        p.tick(3.9);
+        assert_eq!(p.stats().seals_aged, 1);
+        p.tick(4.0);
+        assert_eq!(p.stats().seals_aged, 2);
+        let out = p.finish(5.0);
+        assert!(
+            out.segments.iter().all(|s| s.items > 0),
+            "{:?}",
+            out.segments
+        );
+    }
+
+    #[test]
+    fn empty_pending_never_seals() {
+        let mut cfg = StreamConfig::new(1000);
+        cfg.seal = SealPolicy {
+            max_pending_bytes: Some(1),
+            max_age_secs: Some(0.0),
+        };
+        let mut p = StreamPacker::new(cfg);
+        p.tick(10.0);
+        p.tick(20.0);
+        p.seal_now(30.0);
+        assert_eq!(p.stats().sealed_segments, 0);
+        let out = p.finish(40.0);
+        assert!(
+            out.segments.is_empty(),
+            "empty stream sealed {:?}",
+            out.segments
+        );
+        assert!(out.packing.is_empty());
+    }
+
+    #[test]
     fn sealed_stream_is_valid_and_conserves_bytes() {
         let its = items(400);
         let mut cfg = StreamConfig::new(1000);

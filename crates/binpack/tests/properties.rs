@@ -327,4 +327,34 @@ proptest! {
         let before = cap_driven.bin_sizes().into_iter().max().unwrap();
         prop_assert!(after <= before.max(total.div_ceil(k) + largest));
     }
+
+    #[test]
+    fn compaction_conserves_bytes_and_members(
+        items in arb_items(),
+        cap in 1u64..2_000,
+        min_fill in 0.0f64..1.0,
+    ) {
+        for alg in [Algorithm::FirstFit, Algorithm::BestFit, Algorithm::SubsetSumFirstFit] {
+            let p = alg.pack(&items, cap);
+            let (before_bytes, before_members) =
+                (p.total_size(), multiset(p.bins.iter().flat_map(|b| b.items.iter().copied())));
+            let (after, stats) = binpack::compact_underfull(
+                alg,
+                Kernel::Auto,
+                &Calibration::DEFAULT,
+                p,
+                min_fill,
+            );
+            prop_assert_eq!(after.total_size(), before_bytes, "{:?} changed bytes", alg);
+            let after_members =
+                multiset(after.bins.iter().flat_map(|b| b.items.iter().copied()));
+            prop_assert_eq!(&after_members, &before_members, "{:?} changed members", alg);
+            prop_assert_eq!(stats.bins_after, after.len() as u64);
+            prop_assert!(stats.bins_after <= stats.bins_before.max(stats.rewritten_bins) + stats.bins_before);
+            // Compaction must never overflow a regular bin.
+            for b in &after.bins {
+                prop_assert!(b.is_oversize() && b.len() == 1 || b.used <= cap, "{:?}", alg);
+            }
+        }
+    }
 }

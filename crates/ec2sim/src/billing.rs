@@ -30,11 +30,16 @@ pub struct BillingLedger {
 }
 
 /// Started hours for a running duration in seconds.
+///
+/// Rounded with [`crate::robust_ceil`]: a run stretched by fault slowdowns
+/// whose float arithmetic lands a few ULPs past an exact hour boundary
+/// bills that hour, not the next one — the same double-rounding class
+/// `provision::pricing` fixed for block counts.
 pub fn billed_hours(running_seconds: f64) -> u64 {
     if running_seconds <= 0.0 {
         0
     } else {
-        (running_seconds / 3600.0).ceil().max(1.0) as u64
+        crate::numeric::robust_ceil(running_seconds / 3600.0).max(1.0) as u64
     }
 }
 
@@ -118,6 +123,19 @@ mod tests {
         assert_eq!(billed_hours(3600.1), 2);
         assert_eq!(billed_hours(7200.0), 2);
         assert_eq!(billed_hours(0.0), 0);
+    }
+
+    #[test]
+    fn hour_boundary_float_drift_does_not_bill_extra_hour() {
+        // A fault-slowdown-stretched run: 49 files at 3600/49 s each, run
+        // twice. The float product is 7200.000000000001 — exactly two
+        // hours of work, a few ULPs adrift. The pre-fix raw
+        // `(secs / 3600).ceil()` billed 3 hours here.
+        let stretched = 3600.0 / 49.0 * 49.0 * 2.0;
+        assert!(stretched > 7200.0, "drift premise: {stretched}");
+        assert_eq!(billed_hours(stretched), 2);
+        // Genuine overrun past the boundary still bills the next hour.
+        assert_eq!(billed_hours(7200.1), 3);
     }
 
     #[test]

@@ -30,6 +30,15 @@ pub enum CloudError {
     },
     /// No such S3 object.
     NoSuchObject(String),
+    /// A capped object store cannot hold the object: storing it would need
+    /// `needed` bytes against a `capacity`-byte store (replaced bytes
+    /// already credited).
+    StoreFull {
+        /// Bytes the store would hold after the put.
+        needed: u64,
+        /// The store's byte capacity.
+        capacity: u64,
+    },
     /// The account's instance cap was reached (EC2 limits concurrent
     /// instances per account; the paper notes "limitations on the number
     /// of instances that can be requested", §5.2).
@@ -62,6 +71,9 @@ impl std::fmt::Display for CloudError {
                 write!(f, "object of {size} bytes exceeds the {max} byte cap")
             }
             CloudError::NoSuchObject(k) => write!(f, "no such object {k}"),
+            CloudError::StoreFull { needed, capacity } => {
+                write!(f, "store full: need {needed} bytes of {capacity}")
+            }
             CloudError::InstanceCapReached(n) => {
                 write!(f, "account instance cap of {n} reached")
             }

@@ -38,7 +38,9 @@ mod cloud;
 mod error;
 mod faults;
 mod instance;
+mod netxfer;
 mod noise;
+mod numeric;
 mod retrieval;
 mod spot;
 mod storage;
@@ -54,7 +56,11 @@ pub use cloud::{Cloud, CloudConfig, DataLocation, RunReport};
 pub use error::CloudError;
 pub use faults::{FaultConfig, FaultEvent, FaultKind, FaultPlan};
 pub use instance::{Instance, InstanceId, InstanceQuality, InstanceState};
+pub use netxfer::{
+    BackendParams, SharingBackend, TransferEngine, TransferReceipt, TransferRequest,
+};
 pub use noise::NoiseModel;
+pub use numeric::robust_ceil;
 pub use retrieval::RetrievalModel;
 pub use spot::{SpotMarket, SpotOutcome, SpotRequest};
 pub use storage::{EbsVolume, ObjectStore, VolumeId};

@@ -1,0 +1,50 @@
+//! Billing-grade rounding shared by the simulator's ledger and the
+//! planner's cost model.
+//!
+//! Both layers bill in whole started blocks (`⌈seconds / 3600⌉` hours,
+//! `⌈work / deadline⌉` instances). A duration assembled from float
+//! arithmetic — per-file times summed, fault slowdowns multiplied in and
+//! divided back out — can land a few ULPs above an exact block boundary,
+//! and a naive `ceil` then silently bills one extra block. PR 4 fixed this
+//! class in `provision::pricing::cost_for_deadline`; this module hosts the
+//! single shared helper so the ledger (`billing::billed_hours`) and the
+//! planner (`provision::pricing`) cannot drift apart again.
+
+/// Ceiling that forgives float noise: a value within one part in 10⁹ of an
+/// integer — e.g. `(k·d)/d` landing a few ULPs above `k` — counts as that
+/// integer instead of spilling into the next billing block.
+pub fn robust_ceil(x: f64) -> f64 {
+    let nearest = x.round();
+    if (x - nearest).abs() <= 1e-9 * nearest.abs().max(1.0) {
+        nearest
+    } else {
+        x.ceil()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_integers_pass_through() {
+        assert_eq!(robust_ceil(2.0), 2.0);
+        assert_eq!(robust_ceil(0.0), 0.0);
+        assert_eq!(robust_ceil(-3.0), -3.0);
+    }
+
+    #[test]
+    fn near_integers_snap_down() {
+        assert_eq!(robust_ceil(7.000000000000001), 7.0);
+        assert_eq!(robust_ceil(2.0000000000000004), 2.0);
+        // ... and from below too (round, not floor-then-compare).
+        assert_eq!(robust_ceil(6.999999999999999), 7.0);
+    }
+
+    #[test]
+    fn genuine_fractions_still_round_up() {
+        assert_eq!(robust_ceil(2.001), 3.0);
+        assert_eq!(robust_ceil(0.1), 1.0);
+        assert_eq!(robust_ceil(7.0001), 8.0);
+    }
+}

@@ -107,11 +107,17 @@ impl EbsVolume {
 
 /// An S3-like object store: unlimited objects of up to 5 GB each (§1.1),
 /// shared across zones, with higher per-object latency than EBS.
+///
+/// A store may carry an optional byte `capacity` (an NFS-style shared
+/// filesystem export is exactly such a capped store); `put` enforces it
+/// with replace-aware accounting.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct ObjectStore {
     objects: BTreeMap<String, u64>,
     /// Total bytes stored.
     pub total_bytes: u64,
+    /// Optional store-wide byte cap; `None` means unbounded (S3).
+    pub capacity: Option<u64>,
 }
 
 impl ObjectStore {
@@ -123,14 +129,37 @@ impl ObjectStore {
         Self::default()
     }
 
+    /// Create an empty store with a byte capacity.
+    pub fn with_capacity(capacity: u64) -> Self {
+        ObjectStore {
+            capacity: Some(capacity),
+            ..Self::default()
+        }
+    }
+
     /// Store an object of `size` bytes under `key` (metadata only — the
     /// simulator never moves real bytes). Replaces any existing object.
+    ///
+    /// Capacity is checked with the *replaced* object's bytes freed first:
+    /// at a full store, overwriting a key with a smaller (or equal) object
+    /// must succeed — the naive `total_bytes + size > capacity` check would
+    /// reject it and wedge any at-cap store that only ever rewrites keys.
     pub fn put(&mut self, key: &str, size: u64) -> Result<(), CloudError> {
         if size > Self::MAX_OBJECT {
             return Err(CloudError::ObjectTooLarge {
                 size,
                 max: Self::MAX_OBJECT,
             });
+        }
+        if let Some(cap) = self.capacity {
+            let freed = self.objects.get(key).copied().unwrap_or(0);
+            let needed = self.total_bytes - freed + size;
+            if needed > cap {
+                return Err(CloudError::StoreFull {
+                    needed,
+                    capacity: cap,
+                });
+            }
         }
         if let Some(old) = self.objects.insert(key.to_string(), size) {
             self.total_bytes -= old;
@@ -261,5 +290,54 @@ mod tests {
         let err = s.put("big", 5_000_000_001).unwrap_err();
         assert!(matches!(err, CloudError::ObjectTooLarge { .. }));
         assert!(s.is_empty());
+    }
+
+    #[test]
+    fn store_capacity_enforced() {
+        let mut s = ObjectStore::with_capacity(1_000);
+        s.put("a", 600).unwrap();
+        s.put("b", 400).unwrap(); // exactly full is fine
+        assert_eq!(s.total_bytes, 1_000);
+        let err = s.put("c", 1).unwrap_err();
+        assert_eq!(
+            err,
+            CloudError::StoreFull {
+                needed: 1_001,
+                capacity: 1_000
+            }
+        );
+        // Rejected put leaves the store untouched.
+        assert_eq!(s.total_bytes, 1_000);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn replace_at_capacity_credits_freed_bytes_first() {
+        // Regression: at a full store, replacing an existing key with a
+        // smaller object must succeed — the freed bytes count before the
+        // new size is charged. A naive `total + size > cap` check rejects
+        // every rewrite of a full store.
+        let mut s = ObjectStore::with_capacity(1_000);
+        s.put("a", 1_000).unwrap();
+        s.put("a", 700).unwrap();
+        assert_eq!(s.total_bytes, 700);
+        // Same-size rewrite at cap is also fine …
+        s.put("b", 300).unwrap();
+        s.put("b", 300).unwrap();
+        assert_eq!(s.total_bytes, 1_000);
+        // … and growing past the cap is still rejected, with the old
+        // object intact.
+        let err = s.put("b", 301).unwrap_err();
+        assert!(matches!(err, CloudError::StoreFull { .. }));
+        assert_eq!(s.get("b").unwrap(), 300);
+        assert_eq!(s.total_bytes, 1_000);
+    }
+
+    #[test]
+    fn uncapped_store_never_reports_full() {
+        let mut s = ObjectStore::new();
+        s.put("a", 4_000_000_000).unwrap();
+        s.put("b", 4_000_000_000).unwrap();
+        assert_eq!(s.total_bytes, 8_000_000_000);
     }
 }

@@ -1,0 +1,11 @@
+//! Fixture: the shuffle planner's per-backend route tables must be
+//! ordered and its transfer schedule clock-free — hashed maps fire
+//! RL003, wall-clock reads fire RL005.
+
+pub fn partial_routes() -> std::collections::HashMap<String, u64> {
+    std::collections::HashMap::new()
+}
+
+pub fn transfer_stamp() -> std::time::Instant {
+    std::time::Instant::now()
+}

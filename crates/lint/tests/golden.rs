@@ -46,6 +46,9 @@ fn fixture_findings_match_golden_list() {
         ("crates/ec2sim/src/map.rs", 4, "RL003"),
         ("crates/obs/src/clock.rs", 5, "RL005"),
         ("crates/provision/src/clock.rs", 4, "RL005"),
+        ("crates/provision/src/shuffle_clock.rs", 5, "RL003"),
+        ("crates/provision/src/shuffle_clock.rs", 6, "RL003"),
+        ("crates/provision/src/shuffle_clock.rs", 10, "RL005"),
         ("crates/sched/src/clock.rs", 6, "RL005"),
         ("crates/textapps/src/tagmap.rs", 5, "RL003"),
         ("crates/textapps/src/tagmap.rs", 7, "RL003"),
@@ -179,7 +182,7 @@ fn exempt_locations_stay_silent() {
 fn json_report_is_well_formed() {
     let json = report().to_json();
     assert!(json.contains("\"schema\": \"reshape-lint/2\""));
-    assert!(json.contains("\"errors\": 32"));
+    assert!(json.contains("\"errors\": 35"));
     assert!(json.contains("\"suppressed\": 1"));
     assert!(json.contains("\"RL007\": 3"));
     assert!(json.contains("\"RL010\": 2"));

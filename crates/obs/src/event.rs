@@ -13,7 +13,8 @@ use serde::Serialize;
 /// shape of existing events.
 ///
 /// * v2: added the `Seal` variant (streaming-ingest segment seals).
-pub const SCHEMA_VERSION: u32 = 2;
+/// * v3: added the `Transfer` variant (shuffle data movement).
+pub const SCHEMA_VERSION: u32 = 3;
 
 /// One log record. `seq` is the global emission ordinal (0-based), so a
 /// log can be validated as gap-free and merged records can be re-sorted.
@@ -110,6 +111,22 @@ pub enum EventKind {
         bytes: u64,
         /// Bins the segment packed into.
         bins: u64,
+    },
+    /// One shuffle transfer scheduled through a sharing backend. `at` is
+    /// the simulated start from the transfer timeline — a pure function of
+    /// the seed and the deterministic request order, so transfer events
+    /// keep same-seed logs byte-identical.
+    Transfer {
+        /// Backend label: `s3`, `ebs_local` or `shared_fs`.
+        backend: String,
+        /// Object key moved.
+        key: String,
+        /// Payload bytes.
+        bytes: u64,
+        /// Simulated start time, seconds.
+        at: f64,
+        /// Simulated transfer duration, seconds.
+        secs: f64,
     },
     /// Per-shard accounting of a data-parallel stage. Shards are
     /// deterministic contiguous ranges of the input (see

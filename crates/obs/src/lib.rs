@@ -250,6 +250,17 @@ impl Obs {
         });
     }
 
+    /// Record one shuffle transfer through a sharing backend.
+    pub fn transfer(&self, backend: &str, key: &str, bytes: u64, at: f64, secs: f64) {
+        self.push(EventKind::Transfer {
+            backend: backend.to_string(),
+            key: key.to_string(),
+            bytes,
+            at,
+            secs,
+        });
+    }
+
     /// Record per-shard accounting of a data-parallel stage.
     pub fn shard(&self, stage: &'static str, shard: u64, items: u64, bytes: u64) {
         self.push(EventKind::Shard {
@@ -349,6 +360,7 @@ mod tests {
         obs.fault("instance_crash", 1.0, Some(0), None);
         obs.shard("reshape", 0, 10, 1000);
         obs.seal(0, "flush", 2.0, 10, 1000, 2);
+        obs.transfer("s3", "shuffle/p0", 4096, 3.0, 0.12);
         assert!(!obs.is_recording());
         assert_eq!(obs.event_count(), 0);
         assert!(obs.to_ndjson().is_empty());
@@ -435,6 +447,22 @@ mod tests {
         assert!(a.contains("\"Seal\""));
         assert!(a.contains("\"cause\":\"full\""));
         assert!(a.contains("\"bins\":4"));
+    }
+
+    #[test]
+    fn transfer_events_render_and_replay_identically() {
+        let run = || {
+            let obs = Obs::recording(13);
+            obs.transfer("shared_fs", "shuffle/part-3", 65_536, 41.5, 0.002);
+            obs.transfer("s3", "shuffle/part-4", 1_024, 41.5, 0.031);
+            obs.to_ndjson()
+        };
+        let a = run();
+        assert_eq!(a, run());
+        assert_eq!(a.lines().count(), 3);
+        assert!(a.contains("\"Transfer\""));
+        assert!(a.contains("\"backend\":\"shared_fs\""));
+        assert!(a.contains("\"key\":\"shuffle/part-4\""));
     }
 
     #[test]

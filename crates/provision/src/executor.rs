@@ -376,7 +376,7 @@ impl DegradedReport {
 /// Acquisition wrapper for faulty clouds: an instance lost while booting
 /// or during its bonnie screen is simply replaced (bounded, so a plan
 /// that crashes every ordinal still terminates).
-fn acquire_resilient(
+pub(crate) fn acquire_resilient(
     source: &mut dyn FleetSource,
     cloud: &mut Cloud,
     cfg: &ExecutionConfig,

@@ -25,6 +25,7 @@ pub mod montecarlo;
 pub mod plan;
 pub mod pricing;
 pub mod quality_aware;
+pub mod shuffle;
 pub mod strategy;
 pub mod switching;
 pub mod workflow;
@@ -42,6 +43,11 @@ pub use montecarlo::{evaluate_plan, PlanDistribution};
 pub use plan::{InstancePlan, Plan};
 pub use pricing::{cost_for_deadline, instance_hours, PricingModel};
 pub use quality_aware::{execute_quality_aware, QualityAwareConfig, QualityAwareReport};
+pub use shuffle::{
+    execute_aggregation, execute_aggregation_observed, execute_shuffle_observed, map_partials,
+    plan_aggregation, plan_shuffle, shuffle_movements, AggregationReport, BackendEvaluation,
+    ShuffleConfig, ShuffleError, ShuffleMovement, ShufflePlan, ShuffleReport,
+};
 pub use strategy::{make_plan, Strategy};
 pub use switching::{switch_analysis, SwitchAnalysis};
 pub use workflow::{schedule_workflow, Stage, StagePlan, WorkflowError, WorkflowSchedule};

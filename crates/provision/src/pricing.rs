@@ -9,6 +9,7 @@
 //! * `D < 1 h`: cost is `r·⌈P/D⌉` — we must pay a *full hour* for every
 //!   instance even though each runs only `D`.
 
+use ec2sim::robust_ceil;
 use serde::{Deserialize, Serialize};
 
 /// Flat-rate pricing.
@@ -25,24 +26,12 @@ impl Default for PricingModel {
 }
 
 /// Billed hours for one instance running `secs` seconds.
+///
+/// Delegates to the simulator's [`ec2sim::billed_hours`] so planner and
+/// ledger share one [`robust_ceil`]-based rounding rule and cannot
+/// disagree on hour-boundary durations.
 pub fn instance_hours(secs: f64) -> u64 {
-    if secs <= 0.0 {
-        0
-    } else {
-        (secs / 3600.0).ceil().max(1.0) as u64
-    }
-}
-
-/// Ceiling that forgives float noise: a value within one part in 10⁹ of an
-/// integer — e.g. `(k·d)/d` landing a few ULPs above `k` — counts as that
-/// integer instead of spilling into the next billing block.
-fn robust_ceil(x: f64) -> f64 {
-    let nearest = x.round();
-    if (x - nearest).abs() <= 1e-9 * nearest.abs().max(1.0) {
-        nearest
-    } else {
-        x.ceil()
-    }
+    ec2sim::billed_hours(secs)
 }
 
 /// The paper's piecewise cost `f(d)` for predicted work `p_hours` under
@@ -121,6 +110,11 @@ mod tests {
         assert_eq!(instance_hours(1.0), 1);
         assert_eq!(instance_hours(3600.0), 1);
         assert_eq!(instance_hours(3600.001), 2);
+        // Shared robust rounding: ULP drift above an exact boundary is
+        // forgiven, matching ec2sim::billed_hours bit for bit.
+        let stretched = 3600.0 / 49.0 * 49.0 * 2.0;
+        assert_eq!(instance_hours(stretched), 2);
+        assert_eq!(instance_hours(stretched), ec2sim::billed_hours(stretched));
     }
 
     #[test]

@@ -1,8 +1,9 @@
 //! Hour-boundary parity between the two ceiling implementations:
 //! `ec2sim::billing::billed_hours` (what the simulated ledger charges) and
-//! `provision::instance_hours` (what the planner predicts). If either side
-//! drifts — an off-by-one at exactly 3600 s, a different zero-duration
-//! convention — plans would systematically mis-predict fleet cost.
+//! `provision::instance_hours` (what the planner predicts). Since both
+//! delegate to the shared `ec2sim::robust_ceil`, parity is structural;
+//! this test pins the *contract* — float noise within 1e-9 relative of an
+//! hour boundary is forgiven, genuine overshoot bills the next hour.
 
 use ec2sim::billed_hours;
 use proptest::prelude::*;
@@ -18,11 +19,13 @@ fn hour_boundaries_agree_and_match_contract() {
         (EPS, 1), // any running time starts the first hour
         (1.0, 1),
         (3599.999, 1),
-        (3600.0, 1), // exactly one hour is one hour, not two
-        (3600.0 + EPS, 2),
+        (3600.0, 1),       // exactly one hour is one hour, not two
+        (3600.0 + EPS, 1), // a few ULPs of float drift are not a second hour
+        (3600.1, 2),       // genuine overshoot is
         (7199.999, 2),
         (7200.0, 2),
-        (7200.0 + EPS, 3),
+        (7200.0 + EPS, 2), // robust at every boundary, not just the first
+        (7200.1, 3),
         (86_400.0, 24),
     ];
     for &(secs, hours) in cases {

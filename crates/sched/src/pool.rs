@@ -311,6 +311,25 @@ mod tests {
     }
 
     #[test]
+    fn hour_boundary_float_drift_does_not_bill_an_extra_hour() {
+        let (mut pool, mut cloud) = pool_and_cloud();
+        let cfg = exec_cfg();
+        let (inst, ready) = pool.acquire(&mut cloud, &cfg).unwrap();
+        // Accumulating span pieces (here 49 equal slices of an hour, run
+        // twice over) lands a hair past the boundary: 7200.000000000001 s.
+        // The pool's attribution must forgive that drift and bill exactly
+        // 2 hours, not 3 — same contract as `ec2sim::billed_hours`.
+        let drifted = 3600.0 / 49.0 * 49.0 * 2.0;
+        assert!(drifted > 7200.0, "the test needs a genuinely drifted span");
+        assert_eq!(
+            pool.release(&mut cloud, inst, ready, ready + drifted)
+                .unwrap(),
+            2
+        );
+        assert_eq!(pool.stats().billed_hours, 2);
+    }
+
+    #[test]
     fn expired_warm_instances_are_terminated_and_not_reused() {
         let (mut pool, mut cloud) = pool_and_cloud();
         let cfg = exec_cfg();

@@ -1,0 +1,240 @@
+//! Whole-corpus aggregation workloads: term counting and vocabulary dedup.
+//!
+//! The paper's applications (grep, tagging, tokenization) are all
+//! *embarrassingly parallel* — every file's answer is independent, so N
+//! instances never talk to each other. Aggregations are the first workload
+//! class that cannot be expressed that way: a corpus-wide term count (or
+//! the distinct-term vocabulary) needs every file's partial results merged
+//! across the fleet, i.e. a map/shuffle/reduce. This module is the *data
+//! plane* of that workload: per-file keyed partials, a deterministic
+//! key→reducer partitioner, commutative merges, and a canonical byte
+//! rendering — everything the distributed executor in `provision` moves
+//! through a sharing backend, plus the sequential oracle the differential
+//! harness compares against bit-for-bit.
+//!
+//! Determinism: partials are `BTreeMap`s (sorted iteration), the
+//! partitioner is a pure FNV-1a hash of the term, and both merge
+//! operators (sum for counts, min for first-seen file ids) are commutative
+//! and associative — so any grouping or ordering of the merges yields the
+//! same map, and the rendered reduce output is byte-identical however the
+//! work was split.
+
+use crate::pos::{sentences, tokenize};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Which corpus-wide aggregation to compute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AggKind {
+    /// Term → total occurrences across the corpus.
+    TermCount,
+    /// Term → smallest file id containing it (the dedup'd vocabulary with
+    /// a first-seen witness).
+    Dedup,
+}
+
+impl AggKind {
+    /// Stable snake_case label for logs and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            AggKind::TermCount => "term_count",
+            AggKind::Dedup => "dedup",
+        }
+    }
+}
+
+/// A keyed partial result: term → value (count or first-seen file id).
+pub type Partial = BTreeMap<String, u64>;
+
+/// Tokenize one document and emit its keyed partial.
+pub fn map_document(kind: AggKind, file_id: u64, text: &str) -> Partial {
+    let mut out = Partial::new();
+    for sentence in sentences(text) {
+        for token in tokenize(sentence) {
+            if token.is_punct {
+                continue;
+            }
+            let term = token.text.to_lowercase();
+            match kind {
+                AggKind::TermCount => *out.entry(term).or_insert(0) += 1,
+                AggKind::Dedup => {
+                    out.entry(term)
+                        .and_modify(|v| *v = (*v).min(file_id))
+                        .or_insert(file_id);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Merge `other` into `acc` with the kind's commutative operator.
+pub fn merge_partials(kind: AggKind, acc: &mut Partial, other: &Partial) {
+    for (term, &value) in other {
+        match kind {
+            AggKind::TermCount => *acc.entry(term.clone()).or_insert(0) += value,
+            AggKind::Dedup => {
+                acc.entry(term.clone())
+                    .and_modify(|v| *v = (*v).min(value))
+                    .or_insert(value);
+            }
+        }
+    }
+}
+
+/// FNV-1a of a term — the shuffle partitioner. Pure, so the key→reducer
+/// assignment is identical on every worker and every run.
+fn fnv1a(term: &str) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in term.as_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// The reduce bin a term belongs to, out of `reduce_bins`.
+pub fn partition(term: &str, reduce_bins: usize) -> usize {
+    (fnv1a(term) % reduce_bins.max(1) as u64) as usize
+}
+
+/// Split one partial into per-reducer partials by [`partition`].
+pub fn partition_partial(partial: &Partial, reduce_bins: usize) -> Vec<Partial> {
+    let mut bins = vec![Partial::new(); reduce_bins.max(1)];
+    for (term, &value) in partial {
+        bins[partition(term, reduce_bins)].insert(term.clone(), value);
+    }
+    bins
+}
+
+/// Canonical byte rendering of a partial: `term\tvalue\n` in term order.
+/// This is both the simulated shuffle payload (its length is the
+/// transferred byte count) and the reduce output format the differential
+/// harness compares bit-for-bit.
+pub fn render(partial: &Partial) -> Vec<u8> {
+    let mut out = Vec::new();
+    for (term, value) in partial {
+        out.extend_from_slice(term.as_bytes());
+        out.push(b'\t');
+        out.extend_from_slice(value.to_string().as_bytes());
+        out.push(b'\n');
+    }
+    out
+}
+
+/// Serialized size of a partial, bytes — what a shuffle moves.
+pub fn partial_bytes(partial: &Partial) -> u64 {
+    partial
+        .iter()
+        .map(|(term, value)| term.len() as u64 + value.to_string().len() as u64 + 2)
+        .sum()
+}
+
+/// The sequential single-node oracle: materialize every file from the
+/// corpus seed, map it, merge in file order. The distributed path must
+/// reproduce [`render`] of this map byte-for-byte.
+pub fn oracle(kind: AggKind, corpus_seed: u64, files: &[corpus::FileSpec]) -> Partial {
+    let mut acc = Partial::new();
+    for file in files {
+        let text_bytes = corpus::text_bytes(corpus_seed, file);
+        let text = String::from_utf8_lossy(&text_bytes);
+        let partial = map_document(kind, file.id, &text);
+        merge_partials(kind, &mut acc, &partial);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use corpus::FileSpec;
+
+    fn files(n: u64) -> Vec<FileSpec> {
+        (0..n).map(|i| FileSpec::new(i, 2_000 + 137 * i)).collect()
+    }
+
+    #[test]
+    fn term_count_counts_occurrences() {
+        let p = map_document(AggKind::TermCount, 0, "Ka ti ka. Ti ka!");
+        assert_eq!(p["ka"], 3);
+        assert_eq!(p["ti"], 2);
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn dedup_keeps_first_seen_file_id() {
+        let mut acc = map_document(AggKind::Dedup, 7, "ka ti.");
+        let other = map_document(AggKind::Dedup, 3, "ka ro.");
+        merge_partials(AggKind::Dedup, &mut acc, &other);
+        assert_eq!(acc["ka"], 3, "min file id wins");
+        assert_eq!(acc["ti"], 7);
+        assert_eq!(acc["ro"], 3);
+    }
+
+    #[test]
+    fn merges_are_commutative() {
+        for kind in [AggKind::TermCount, AggKind::Dedup] {
+            let a = map_document(kind, 0, "ka ti ro ka.");
+            let b = map_document(kind, 1, "ti men ka.");
+            let mut ab = a.clone();
+            merge_partials(kind, &mut ab, &b);
+            let mut ba = b.clone();
+            merge_partials(kind, &mut ba, &a);
+            assert_eq!(ab, ba, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn partitioning_is_total_and_disjoint() {
+        let p = oracle(AggKind::TermCount, 42, &files(4));
+        let bins = partition_partial(&p, 5);
+        assert_eq!(bins.len(), 5);
+        let mut merged = Partial::new();
+        for bin in &bins {
+            for (term, &v) in bin {
+                assert!(merged.insert(term.clone(), v).is_none(), "dup {term}");
+                assert_eq!(
+                    partition(term, 5),
+                    bins.iter().position(|b| b.contains_key(term)).unwrap()
+                );
+            }
+        }
+        assert_eq!(merged, p, "bins partition the key space");
+        // More than one bin is actually used on a real vocabulary.
+        assert!(bins.iter().filter(|b| !b.is_empty()).count() > 1);
+    }
+
+    #[test]
+    fn render_is_canonical_and_sized() {
+        let p = map_document(AggKind::TermCount, 0, "ti ka ka.");
+        let bytes = render(&p);
+        assert_eq!(bytes, b"ka\t2\nti\t1\n");
+        assert_eq!(partial_bytes(&p), bytes.len() as u64);
+    }
+
+    #[test]
+    fn oracle_is_deterministic_and_seed_sensitive() {
+        let fs = files(6);
+        let a = oracle(AggKind::TermCount, 42, &fs);
+        assert_eq!(a, oracle(AggKind::TermCount, 42, &fs));
+        assert_ne!(a, oracle(AggKind::TermCount, 43, &fs));
+        assert!(a.len() > 50, "real vocabulary: {} terms", a.len());
+        let total: u64 = a.values().sum();
+        let dedup = oracle(AggKind::Dedup, 42, &fs);
+        assert!(total > dedup.len() as u64, "counts exceed vocabulary");
+    }
+
+    #[test]
+    fn split_map_merge_equals_oracle() {
+        // The map/reduce identity that makes the distributed path work:
+        // mapping files in any grouping and merging matches the oracle.
+        let fs = files(8);
+        let whole = oracle(AggKind::TermCount, 7, &fs);
+        let mut acc = Partial::new();
+        for chunk in fs.chunks(3).rev() {
+            let partial = oracle(AggKind::TermCount, 7, chunk);
+            merge_partials(AggKind::TermCount, &mut acc, &partial);
+        }
+        assert_eq!(render(&acc), render(&whole));
+    }
+}

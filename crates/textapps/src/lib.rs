@@ -16,12 +16,14 @@
 
 #![forbid(unsafe_code)]
 
+pub mod aggregate;
 pub mod grep;
 pub mod grep_multi;
 pub mod model;
 pub mod pos;
 pub mod tokenize_app;
 
+pub use aggregate::{AggKind, Partial};
 pub use grep::{Grep, GrepOutcome};
 pub use grep_multi::{MultiGrep, MultiOutcome};
 pub use model::{AppCostModel, AppKind, ExecEnv, GrepCostModel, PosCostModel};

@@ -57,6 +57,11 @@ if [[ $fast -eq 0 ]]; then
   # then persists the throughput report CI uploads.
   echo "==> ingest report (writes results/BENCH_ingest.json)"
   SMOKE=1 cargo run --release -q -p bench --bin ingest_report
+  # Shuffle backend sweep: asserts every sharing backend wins at least one
+  # movement regime and that every backend's reduce output reproduces the
+  # sequential oracle, then persists the report CI uploads.
+  echo "==> shuffle report (writes results/BENCH_shuffle.json)"
+  SMOKE=1 cargo run --release -q -p bench --bin shuffle_report
 fi
 
 echo "verify: OK"

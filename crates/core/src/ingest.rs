@@ -6,7 +6,7 @@
 //! corpus is on disk before reshaping starts; this path models the
 //! reshape-as-a-service scenario where files arrive continuously. The
 //! arrival process is synthesized deterministically from the manifest and
-//! a seed ([`corpus::ArrivalTrace`]), each arrival is admitted into a
+//! a seed ([`corpus::IngestTrace`]), each arrival is admitted into a
 //! [`binpack::StreamPacker`], segments seal under the configured
 //! [`SealPolicy`], and an optional compaction pass rewrites under-full
 //! sealed bins. The outcome plugs into the rest of the pipeline exactly
@@ -17,7 +17,7 @@
 use binpack::{
     compact_underfull, Item, MergePolicy, SealPolicy, StreamConfig, StreamOutcome, StreamPacker,
 };
-use corpus::{ArrivalConfig, ArrivalTrace, Manifest};
+use corpus::{ArrivalConfig, IngestTrace, Manifest};
 use obs::Obs;
 use perfmodel::UnitSize;
 use serde::{Deserialize, Serialize};
@@ -78,7 +78,7 @@ pub fn reshape_streaming(
         UnitSize::Original => return crate::reshape_step::reshape_manifest(manifest, unit),
         UnitSize::Bytes(target) => target.max(1),
     };
-    let trace = ArrivalTrace::generate(manifest, &config.arrival, config.arrival_seed);
+    let trace = IngestTrace::generate(manifest, &config.arrival, config.arrival_seed);
     // Map each arrival to its manifest index so bin items index
     // `manifest.files`, matching the batch reshape's id convention.
     let index_of = |id: u64| -> u64 {

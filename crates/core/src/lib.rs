@@ -55,15 +55,19 @@ pub use reshape_step::{
 };
 pub use workload::{App, Workload};
 
-// Re-export the pieces users compose with. (`corpus::ArrivalTrace` is not
-// re-exported: the name would collide with `sched::ArrivalTrace` below —
-// use the `corpus::` path for the file-arrival trace.)
+// Re-export the pieces users compose with. The file-arrival trace is
+// `corpus::IngestTrace` (renamed from `ArrivalTrace`), so it no longer
+// collides with `sched::ArrivalTrace` and both re-export cleanly.
 pub use binpack::{Algorithm, MergePolicy, PackingStats, Parallelism, SealPolicy};
-pub use corpus::{ArrivalConfig, ArrivalOrder, FileSpec, Manifest};
-pub use ec2sim::{Cloud, CloudConfig, FaultConfig, FaultPlan};
+pub use corpus::{ArrivalConfig, ArrivalOrder, FileSpec, IngestTrace, Manifest};
+pub use ec2sim::{Cloud, CloudConfig, FamilyId, FaultConfig, FaultPlan, InstanceFamily};
+pub use market::{
+    execute_portfolio, plan_market, MarketConfig, MarketExecution, MarketReject, MarketStrategy,
+    PortfolioPlan, SpotPath,
+};
 pub use perfmodel::{Fit, ModelKind, ProbeCampaign, UnitSize};
 pub use provision::{DegradedReport, ExecutionReport, RetryPolicy, StagingTier, Strategy};
 pub use sched::{
-    Admission, ArrivalTrace, InstancePool, Job, JobOutcome, PoolConfig, SchedConfig, SchedReport,
-    TenantId, TraceConfig,
+    Admission, ArrivalTrace, FamilyUsage, InstancePool, Job, JobOutcome, PoolConfig, SchedConfig,
+    SchedReport, TenantId, TraceConfig,
 };

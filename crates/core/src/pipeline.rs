@@ -98,6 +98,11 @@ pub struct PipelineConfig {
     /// invariants either way: bytes conserved, deterministic in the seeds,
     /// byte-identical logs across [`Parallelism`] settings.
     pub ingest: Option<crate::ingest::IngestConfig>,
+    /// Launch the fleet through this instance family: sampled instance
+    /// quality goes through the family transform and billing uses the
+    /// family's on-demand rate. `None` (the default) keeps the classic
+    /// single-type fleet bit-for-bit.
+    pub family: Option<ec2sim::InstanceFamily>,
     /// Inject a seeded fault schedule (generated from the cloud seed) into
     /// the simulated cloud. `None` (the default) runs fault-free.
     pub faults: Option<FaultConfig>,
@@ -127,6 +132,7 @@ impl Default for PipelineConfig {
             parallelism: Parallelism::default(),
             validate: cfg!(debug_assertions),
             ingest: None,
+            family: None,
             faults: None,
             retry: RetryPolicy::default(),
             obs: Obs::default(),
@@ -381,11 +387,25 @@ impl Pipeline {
         // errors (ProvisionError), which the pipeline surfaces as
         // InfeasibleDeadline.
         let span = obs.span_start("pipeline.plan", cloud.now());
+        // A family fleet plans against the family-scaled model (the §5
+        // calibration transported by the perf multiplier); model kinds
+        // without a scale parameter scale the deadline instead. Without a
+        // family this is exactly the classic plan.
+        let (plan_fit, plan_deadline) = match self.config.family {
+            Some(fam) => match market::family_fit(&final_fit, fam.perf_multiplier) {
+                Some(f) => (f, self.config.deadline_secs),
+                None => (
+                    final_fit.clone(),
+                    self.config.deadline_secs / fam.perf_multiplier,
+                ),
+            },
+            None => (final_fit.clone(), self.config.deadline_secs),
+        };
         let plan = make_plan(
             self.config.strategy,
             &reshape.files,
-            &final_fit,
-            self.config.deadline_secs,
+            &plan_fit,
+            plan_deadline,
         )
         .map_err(|_| PipelineError::InfeasibleDeadline {
             deadline_secs: self.config.deadline_secs,
@@ -401,6 +421,12 @@ impl Pipeline {
         let exec_cfg = ExecutionConfig {
             staging: self.config.staging,
             screen: self.config.screen_fleet,
+            itype: self
+                .config
+                .family
+                .map(|f| f.itype)
+                .unwrap_or(ExecutionConfig::default().itype),
+            family: self.config.family,
             ..ExecutionConfig::default()
         };
         // The executor emits the `pipeline.execute` span itself: the fleet

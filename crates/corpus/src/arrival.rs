@@ -60,7 +60,7 @@ pub struct FileEvent {
 
 /// A complete seeded arrival trace over a manifest.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct ArrivalTrace {
+pub struct IngestTrace {
     /// Trace name, derived from the manifest name.
     pub name: String,
     /// Seed the trace was generated with (independent of the manifest
@@ -70,12 +70,12 @@ pub struct ArrivalTrace {
     pub events: Vec<FileEvent>,
 }
 
-impl ArrivalTrace {
+impl IngestTrace {
     /// Generate the trace: order the files per `config.order`, then walk
     /// the simulated clock forward by an exponential gap (inverse-CDF of a
     /// seeded uniform draw) before each arrival. Deterministic in
     /// `(manifest, config, seed)`.
-    pub fn generate(manifest: &Manifest, config: &ArrivalConfig, seed: u64) -> ArrivalTrace {
+    pub fn generate(manifest: &Manifest, config: &ArrivalConfig, seed: u64) -> IngestTrace {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut files = manifest.files.clone();
         if config.order == ArrivalOrder::Shuffled {
@@ -94,7 +94,7 @@ impl ArrivalTrace {
                 FileEvent { at_secs: t, file }
             })
             .collect();
-        ArrivalTrace {
+        IngestTrace {
             name: format!("{}[arrivals seed={seed}]", manifest.name),
             seed,
             events,
@@ -131,7 +131,7 @@ mod tests {
         Manifest::new("t", files, 0)
     }
 
-    fn ids(t: &ArrivalTrace) -> Vec<u64> {
+    fn ids(t: &IngestTrace) -> Vec<u64> {
         t.events.iter().map(|e| e.file.id).collect()
     }
 
@@ -143,8 +143,8 @@ mod tests {
             order: ArrivalOrder::Shuffled,
         };
         assert_eq!(
-            ArrivalTrace::generate(&m, &cfg, 7),
-            ArrivalTrace::generate(&m, &cfg, 7)
+            IngestTrace::generate(&m, &cfg, 7),
+            IngestTrace::generate(&m, &cfg, 7)
         );
     }
 
@@ -155,8 +155,8 @@ mod tests {
             mean_interarrival_secs: 1.0,
             order: ArrivalOrder::Shuffled,
         };
-        let a = ArrivalTrace::generate(&m, &cfg, 1);
-        let b = ArrivalTrace::generate(&m, &cfg, 2);
+        let a = IngestTrace::generate(&m, &cfg, 1);
+        let b = IngestTrace::generate(&m, &cfg, 2);
         assert_ne!(ids(&a), ids(&b));
     }
 
@@ -168,7 +168,7 @@ mod tests {
                 mean_interarrival_secs: 0.5,
                 order,
             };
-            let t = ArrivalTrace::generate(&m, &cfg, 3);
+            let t = IngestTrace::generate(&m, &cfg, 3);
             assert_eq!(t.len(), 200);
             assert_eq!(t.total_bytes(), m.total_volume());
             for w in t.events.windows(2) {
@@ -183,7 +183,7 @@ mod tests {
     #[test]
     fn as_provided_keeps_manifest_order() {
         let m = manifest(50);
-        let t = ArrivalTrace::generate(&m, &ArrivalConfig::default(), 9);
+        let t = IngestTrace::generate(&m, &ArrivalConfig::default(), 9);
         assert_eq!(ids(&t), (0..50).collect::<Vec<u64>>());
     }
 
@@ -194,7 +194,7 @@ mod tests {
             mean_interarrival_secs: 0.0,
             order: ArrivalOrder::AsProvided,
         };
-        let t = ArrivalTrace::generate(&m, &cfg, 0);
+        let t = IngestTrace::generate(&m, &cfg, 0);
         assert!(t.events.iter().all(|e| e.at_secs.abs() < 1e-12));
         assert!(t.duration_secs().abs() < 1e-12);
     }
@@ -202,7 +202,7 @@ mod tests {
     #[test]
     fn empty_manifest_gives_empty_trace() {
         let m = Manifest::new("e", Vec::new(), 0);
-        let t = ArrivalTrace::generate(&m, &ArrivalConfig::default(), 1);
+        let t = IngestTrace::generate(&m, &ArrivalConfig::default(), 1);
         assert!(t.is_empty());
         assert!(t.duration_secs().abs() < 1e-12);
     }

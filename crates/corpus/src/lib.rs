@@ -28,7 +28,7 @@ mod presets;
 mod sample;
 mod text;
 
-pub use arrival::{ArrivalConfig, ArrivalOrder, ArrivalTrace, FileEvent};
+pub use arrival::{ArrivalConfig, ArrivalOrder, FileEvent, IngestTrace};
 pub use books::{agnes_grey_like, dubliners_like, Book};
 pub use dist::{EmpiricalHistogram, LogNormal, Normal, Pareto, SizeDistribution, Zipf};
 pub use hist::{histogram, HistogramBin};

@@ -68,7 +68,7 @@ impl BillingLedger {
             id: instance.id,
             running_seconds: seconds,
             billed_hours: hours,
-            cost: hours as f64 * instance.itype.hourly_rate(),
+            cost: hours as f64 * instance.hourly_rate,
         };
         match self.bills.iter_mut().find(|b| b.id == instance.id) {
             Some(existing) => *existing = bill,
@@ -112,6 +112,7 @@ mod tests {
                 io_bps: 75e6,
                 jitter_rel: 0.02,
             },
+            hourly_rate: InstanceType::Small.hourly_rate(),
         }
     }
 

@@ -3,6 +3,7 @@
 
 use crate::billing::BillingLedger;
 use crate::error::CloudError;
+use crate::family::InstanceFamily;
 use crate::faults::{FaultEvent, FaultPlan, FaultState};
 use crate::instance::{Instance, InstanceId, InstanceQuality, InstanceState};
 use crate::noise::NoiseModel;
@@ -301,8 +302,43 @@ impl Cloud {
             running_at: self.now + boot,
             terminated_at: None,
             quality,
+            hourly_rate: itype.hourly_rate(),
         });
         self.flush_fault_events();
+        Ok(id)
+    }
+
+    /// Request an instance from a specific [`InstanceFamily`]. Identical to
+    /// [`Cloud::launch`] — same RNG draws, same boot latency, same fault
+    /// hooks — followed by a *deterministic* reshaping of the sampled
+    /// quality: CPU and I/O scale by the family's perf multiplier, I/O is
+    /// capped at the family's per-stream bandwidth, and the billed rate
+    /// becomes the family's on-demand price. The standard family's
+    /// transform is the identity, so `launch_family(&standard(), z)` is
+    /// bit-for-bit equivalent to `launch(Small, z)`.
+    pub fn launch_family(
+        &mut self,
+        family: &InstanceFamily,
+        zone: AvailabilityZone,
+    ) -> Result<InstanceId, CloudError> {
+        let id = self.launch(family.itype, zone)?;
+        let inst = &mut self.instances[id.0 as usize];
+        inst.quality = family.apply(inst.quality);
+        inst.hourly_rate = family.on_demand_rate;
+        Ok(id)
+    }
+
+    /// [`Cloud::launch_family`] with the billed rate overridden — how spot
+    /// acquisitions record the (deterministic) expected market price
+    /// instead of the on-demand list price.
+    pub fn launch_family_priced(
+        &mut self,
+        family: &InstanceFamily,
+        zone: AvailabilityZone,
+        hourly_rate: f64,
+    ) -> Result<InstanceId, CloudError> {
+        let id = self.launch_family(family, zone)?;
+        self.instances[id.0 as usize].hourly_rate = hourly_rate;
         Ok(id)
     }
 

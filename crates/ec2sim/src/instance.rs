@@ -92,6 +92,10 @@ pub struct Instance {
     pub terminated_at: Option<f64>,
     /// Hidden quality.
     pub quality: InstanceQuality,
+    /// Dollars per started hour billed for this instance. Defaults to the
+    /// type's on-demand list price; family launches and spot acquisitions
+    /// override it, and the ledger bills whatever is recorded here.
+    pub hourly_rate: f64,
 }
 
 impl Instance {
@@ -164,6 +168,7 @@ mod tests {
                 io_bps: 75e6,
                 jitter_rel: 0.02,
             },
+            hourly_rate: InstanceType::Small.hourly_rate(),
         }
     }
 

@@ -36,6 +36,7 @@ mod billing;
 mod bonnie;
 mod cloud;
 mod error;
+mod family;
 mod faults;
 mod instance;
 mod netxfer;
@@ -54,6 +55,7 @@ pub use bonnie::{
 };
 pub use cloud::{Cloud, CloudConfig, DataLocation, RunReport};
 pub use error::CloudError;
+pub use family::{FamilyId, InstanceFamily};
 pub use faults::{FaultConfig, FaultEvent, FaultKind, FaultPlan};
 pub use instance::{Instance, InstanceId, InstanceQuality, InstanceState};
 pub use netxfer::{

@@ -1,0 +1,77 @@
+//! Billing at spot-reclaim boundaries.
+//!
+//! A spot instance reclaimed at (or a nanosecond around) an hour boundary
+//! must bill the started hour **exactly once**: `h` whole hours of work
+//! bill `h` hours whether the market pulls the plug 1 ns early, dead on
+//! the boundary, or 1 ns late — never `h + 1` from float drift, and never
+//! 0 (the first started hour is always owed). This is the `robust_ceil`
+//! contract of `billed_hours`, exercised end-to-end through a scripted
+//! `SpotPreemption` and the cloud's ledger.
+
+use ec2sim::{
+    billed_hours, AvailabilityZone, Cloud, CloudConfig, FaultEvent, FaultKind, FaultPlan,
+    InstanceType,
+};
+use proptest::prelude::*;
+
+fn zone() -> AvailabilityZone {
+    AvailabilityZone::us_east_1a()
+}
+
+/// The simulated time a freshly launched instance becomes running under
+/// `cfg` — learned from a throwaway cloud with the same seed, so a fault
+/// plan can be pinned to the anchor before the real cloud exists.
+fn running_anchor(cfg: CloudConfig) -> f64 {
+    let mut probe = Cloud::new(cfg);
+    let id = probe.launch(InstanceType::Small, zone()).unwrap();
+    probe.running_at(id).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `billed_hours` itself: `h` hours ± 1 ns is `h` started hours.
+    #[test]
+    fn billed_hours_forgives_boundary_jitter(h in 1u64..48, sign in -1i8..=1) {
+        let span = h as f64 * 3600.0 + sign as f64 * 1e-9;
+        prop_assert_eq!(billed_hours(span), h);
+    }
+
+    /// End-to-end: a scripted spot reclaim at the anchor + h hours ± 1 ns
+    /// leaves exactly `h` hours (and `h · rate` dollars) on the ledger.
+    #[test]
+    fn boundary_reclaim_bills_started_hours_exactly_once(
+        h in 1u64..24,
+        sign in -1i8..=1,
+        seed in 0u64..32,
+    ) {
+        let cfg = CloudConfig::ideal(seed);
+        let anchor = running_anchor(cfg);
+        let t_reclaim = anchor + h as f64 * 3600.0 + sign as f64 * 1e-9;
+        let plan = FaultPlan::scripted(vec![FaultEvent {
+            at: t_reclaim,
+            instance: Some(0),
+            volume: None,
+            kind: FaultKind::SpotPreemption,
+        }]);
+        let mut cloud = Cloud::with_faults(cfg, &plan);
+        let inst = cloud.launch(InstanceType::Small, zone()).unwrap();
+        cloud.wait_until_running(inst).unwrap();
+        prop_assert_eq!(cloud.crash_time(inst), Some(t_reclaim));
+        // Touch the doomed instance past the reclaim: the cloud applies
+        // the death, terminates the instance at the reclaim time and
+        // settles its bill.
+        let dt = t_reclaim - cloud.now() + 1.0;
+        cloud.advance(dt.max(0.0));
+        let vol = cloud.create_volume(zone(), 1);
+        let err = cloud
+            .attach_volume(vol, inst)
+            .expect_err("the reclaimed instance must be gone");
+        prop_assert!(err.is_instance_loss(), "{err:?}");
+        let bills = cloud.ledger().bills();
+        prop_assert_eq!(bills.len(), 1);
+        prop_assert_eq!(bills[0].billed_hours, h, "span {}", bills[0].running_seconds);
+        let rate = InstanceType::Small.hourly_rate();
+        prop_assert!((bills[0].cost - h as f64 * rate).abs() < 1e-12);
+    }
+}

@@ -78,6 +78,7 @@ pub const DETERMINISM_SENSITIVE: &[&str] = &[
     "core",
     "corpus",
     "ec2sim",
+    "market",
     "obs",
     "sched",
     "textapps",
@@ -89,12 +90,16 @@ pub const DETERMINISM_SENSITIVE: &[&str] = &[
 /// text transformation; any timing of it belongs in the bench crate.
 /// `core` and `corpus` joined when the streaming-ingest path landed: the
 /// arrival trace and sealing clock are simulated seconds, so a wall-clock
-/// read anywhere on that path breaks same-seed replay.
+/// read anywhere on that path breaks same-seed replay. `market` joined
+/// with the fleet-market subsystem: spot price paths are counter-seeded
+/// functions of simulated time, and a wall-clock read would desync the
+/// planner's path from the reclaim schedule scripted off the same seed.
 pub const CLOCK_FREE: &[&str] = &[
     "binpack",
     "core",
     "corpus",
     "ec2sim",
+    "market",
     "obs",
     "perfmodel",
     "provision",

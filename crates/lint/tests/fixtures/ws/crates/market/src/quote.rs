@@ -1,0 +1,14 @@
+//! Fixture: a market-quote-shaped public API whose spot price sampling
+//! leaks a wall-clock read through a helper. `market` is CLOCK_FREE (the
+//! price path and the reclaim schedule are scripted off one seed), so
+//! RL005 fires at the read and RL007 reports the taint path from the
+//! public sink.
+
+pub fn quote_spot(bid: f64) -> f64 {
+    bid.min(sample_price())
+}
+
+fn sample_price() -> f64 {
+    let started = std::time::Instant::now();
+    started.elapsed().as_secs_f64()
+}

@@ -1,0 +1,45 @@
+//! Heterogeneous fleet market: instance families, seeded spot pricing,
+//! and a cost-optimal mixed-fleet portfolio planner.
+//!
+//! The paper's provisioning question — *how many instances meet the
+//! deadline?* (§5) — assumes one instance type at one price. Real EC2
+//! offers a catalog of families at different price/performance points and
+//! a spot market whose price moves; the cheapest fleet that still meets
+//! the deadline is usually a **mix**. This crate answers the extended
+//! question on the simulated clock:
+//!
+//! * [`ec2sim::InstanceFamily`] describes a family's list price, perf
+//!   multiplier and streaming cap; [`family_fit`] transports the §5
+//!   calibrated model onto a family (relative residuals — and hence the
+//!   §5.2 adjustment factor — are invariant under the scaling).
+//! * [`SpotPath`] is a seeded, counter-hashed mean-reverting price
+//!   process per family: same seed ⇒ byte-identical path. Bids convert a
+//!   path into eligible work time, an expected rate, and correlated
+//!   whole-family reclaim instants.
+//! * [`plan_market`] quotes every (family, tier) pair by inverting the
+//!   family-scaled model under the residual-adjusted deadline, and picks
+//!   the cheapest feasible fleet under the chosen [`MarketStrategy`] —
+//!   including mixed spot + on-demand fleets when spot capacity caps
+//!   bind. Infeasibility is typed ([`MarketReject`]), mirroring `sched`'s
+//!   reject vocabulary.
+//! * [`execute_portfolio`] runs the chosen fleet through the resilient
+//!   executor with the bid crossings scripted as a
+//!   [`reclaim_fault_plan`], so the chaos machinery exercises exactly the
+//!   preemptions the planner priced in.
+//!
+//! Everything is deterministic: no wall-clock reads, counter-based
+//! randomness only, `same seed ⇒ byte-identical plan, price path and
+//! event log`.
+
+#![forbid(unsafe_code)]
+
+mod exec;
+mod planner;
+mod spot;
+
+pub use exec::{execute_portfolio, reclaim_fault_plan, MarketExecution};
+pub use planner::{
+    expected_plan_cost, family_fit, plan_market, plan_market_observed, plan_on_family, FamilyQuote,
+    FleetLine, MarketConfig, MarketReject, MarketStrategy, PortfolioPlan, Tier,
+};
+pub use spot::{reclaim_plan, SpotPath, SPOT_STEP_SECS};

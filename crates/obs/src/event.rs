@@ -14,7 +14,8 @@ use serde::Serialize;
 ///
 /// * v2: added the `Seal` variant (streaming-ingest segment seals).
 /// * v3: added the `Transfer` variant (shuffle data movement).
-pub const SCHEMA_VERSION: u32 = 3;
+/// * v4: added the `Market` variant (fleet-market quotes and allocations).
+pub const SCHEMA_VERSION: u32 = 4;
 
 /// One log record. `seq` is the global emission ordinal (0-based), so a
 /// log can be validated as gap-free and merged records can be re-sorted.
@@ -127,6 +128,25 @@ pub enum EventKind {
         at: f64,
         /// Simulated transfer duration, seconds.
         secs: f64,
+    },
+    /// A fleet-market decision: a per-family quote evaluated, a fleet
+    /// line allocated, or a spot reclaim anticipated by the planner. `at`
+    /// is simulated planning time; prices derive from the seeded spot
+    /// process, so market events keep same-seed logs byte-identical.
+    Market {
+        /// Family label: `standard`, `hi_cpu` or `low_power`.
+        family: String,
+        /// Stable action label, e.g. `quote`, `allocate` or `reclaim`.
+        action: String,
+        /// Purchase tier label: `on_demand` or `spot`.
+        tier: String,
+        /// Simulated time, seconds.
+        at: f64,
+        /// Instances involved.
+        instances: u64,
+        /// Dollars attached to the decision (expected cost for quotes and
+        /// allocations).
+        cost: f64,
     },
     /// Per-shard accounting of a data-parallel stage. Shards are
     /// deterministic contiguous ranges of the input (see

@@ -261,6 +261,27 @@ impl Obs {
         });
     }
 
+    /// Record a fleet-market decision (quote, allocation or anticipated
+    /// spot reclaim) for one instance family.
+    pub fn market(
+        &self,
+        family: &str,
+        action: &str,
+        tier: &str,
+        at: f64,
+        instances: u64,
+        cost: f64,
+    ) {
+        self.push(EventKind::Market {
+            family: family.to_string(),
+            action: action.to_string(),
+            tier: tier.to_string(),
+            at,
+            instances,
+            cost,
+        });
+    }
+
     /// Record per-shard accounting of a data-parallel stage.
     pub fn shard(&self, stage: &'static str, shard: u64, items: u64, bytes: u64) {
         self.push(EventKind::Shard {

@@ -39,6 +39,14 @@ pub struct ExecutionConfig {
     pub screen: bool,
     /// Pricing used for the report.
     pub pricing: PricingModel,
+    /// When set, the fleet launches through this instance family: sampled
+    /// quality is reshaped by the family transform and the billed rate is
+    /// the family's on-demand price. `None` keeps the classic
+    /// single-family behavior bit-for-bit.
+    pub family: Option<ec2sim::InstanceFamily>,
+    /// When set, overrides the billed hourly rate (spot acquisitions
+    /// record the expected market price here).
+    pub rate_override: Option<f64>,
 }
 
 impl Default for ExecutionConfig {
@@ -50,7 +58,20 @@ impl Default for ExecutionConfig {
             stage_in_secs: 30.0,
             screen: false,
             pricing: PricingModel::default(),
+            family: None,
+            rate_override: None,
         }
+    }
+}
+
+impl ExecutionConfig {
+    /// Dollars billed per started instance-hour under this configuration:
+    /// the explicit override, else the family's on-demand rate, else the
+    /// flat pricing-model rate.
+    pub fn hourly_rate(&self) -> f64 {
+        self.rate_override
+            .or(self.family.map(|f| f.on_demand_rate))
+            .unwrap_or(self.pricing.hourly_rate)
     }
 }
 
@@ -169,8 +190,13 @@ pub fn acquire_instance(
     cloud: &mut Cloud,
     cfg: &ExecutionConfig,
 ) -> Result<(InstanceId, f64), CloudError> {
+    let launch = |cloud: &mut Cloud| match (cfg.family, cfg.rate_override) {
+        (Some(f), Some(rate)) => cloud.launch_family_priced(&f, cfg.zone, rate),
+        (Some(f), None) => cloud.launch_family(&f, cfg.zone),
+        (None, _) => cloud.launch(cfg.itype, cfg.zone),
+    };
     if !cfg.screen {
-        let inst = cloud.launch(cfg.itype, cfg.zone)?;
+        let inst = launch(cloud)?;
         let ready = cloud.running_at(inst)?;
         return Ok((inst, ready));
     }
@@ -178,7 +204,7 @@ pub fn acquire_instance(
     let mut not_before = 0.0f64;
     let mut last = None;
     for _ in 0..policy.max_attempts {
-        let inst = cloud.launch(cfg.itype, cfg.zone)?;
+        let inst = launch(cloud)?;
         let (passed, ready) = screen_at(cloud, inst, &policy)?;
         let ready = ready.max(not_before);
         if passed {
@@ -268,7 +294,7 @@ pub fn execute_plan_observed(
         makespan_secs,
         misses,
         instance_hours: hours,
-        cost: hours as f64 * cfg.pricing.hourly_rate,
+        cost: hours as f64 * cfg.hourly_rate(),
         runs,
     })
 }
@@ -602,7 +628,7 @@ pub fn execute_plan_resilient_sourced(
             makespan_secs,
             misses,
             instance_hours: hours,
-            cost: hours as f64 * cfg.pricing.hourly_rate,
+            cost: hours as f64 * cfg.hourly_rate(),
             runs,
         },
         failed_shares,

@@ -19,7 +19,7 @@ use crate::admission::{admit, Admission, DeferReason};
 use crate::job::{AppFits, ArrivalTrace};
 use crate::pool::{InstancePool, PoolConfig};
 use crate::report::{JobOutcome, JobStatus, SchedReport, TenantAccount};
-use ec2sim::{Cloud, CloudConfig, CloudError, FaultConfig, FaultPlan};
+use ec2sim::{Cloud, CloudConfig, CloudError, FaultConfig, FaultPlan, InstanceFamily};
 use obs::Obs;
 use provision::{execute_plan_resilient_sourced, ExecutionConfig, Plan, RetryPolicy};
 use serde::{Deserialize, Serialize};
@@ -43,6 +43,11 @@ pub struct SchedConfig {
     pub p_miss: f64,
     /// Maximum concurrently running jobs per tenant.
     pub tenant_inflight_cap: usize,
+    /// Instance-family catalog. When set, each dispatched job is re-planned
+    /// on the cheapest family whose fleet still fits the pool (warm reuse
+    /// stays family-exact); `None` keeps the classic single-type fleet
+    /// bit-for-bit.
+    pub catalog: Option<Vec<InstanceFamily>>,
     /// Injected fault schedule (None ⇒ fault-free).
     pub faults: Option<FaultConfig>,
     /// Observability sink; a recording sink yields a byte-identical
@@ -60,6 +65,7 @@ impl Default for SchedConfig {
             fits: AppFits::default(),
             p_miss: 0.05,
             tenant_inflight_cap: 4,
+            catalog: None,
             faults: None,
             obs: Obs::default(),
         }
@@ -222,7 +228,9 @@ pub fn run_trace(cfg: &SchedConfig, trace: &ArrivalTrace) -> Result<SchedReport,
                         wait_secs: 0.0,
                         finished_at: job.arrival_secs,
                         met_deadline: false,
+                        family: None,
                         billed_hours: 0,
+                        cost: 0.0,
                         busy_secs: 0.0,
                         lost_bytes: job.volume(),
                     });
@@ -275,6 +283,46 @@ pub fn run_trace(cfg: &SchedConfig, trace: &ArrivalTrace) -> Result<SchedReport,
             let job = &trace.jobs[q.idx];
             dispatched_any = true;
 
+            // With a catalog, re-plan on the cheapest family whose fleet
+            // still fits the pool right now; the admission plan (built on
+            // the base fit) is the fallback when no family plan fits.
+            let mut exec_cfg = cfg.exec;
+            let mut plan = q.plan;
+            let mut family = None;
+            if let Some(catalog) = &cfg.catalog {
+                let fit = cfg.fits.for_kind(job.app);
+                let free = pool.free_capacity(t).max(q.instances);
+                let best = catalog
+                    .iter()
+                    .filter_map(|fam| {
+                        market::plan_on_family(&job.files, fit, fam, job.deadline_secs, cfg.p_miss)
+                            .ok()
+                            .filter(|p| p.instance_count() <= free)
+                            .map(|p| {
+                                let cost = market::expected_plan_cost(&p, fam.on_demand_rate);
+                                (fam, p, cost)
+                            })
+                    })
+                    .min_by(|a, b| a.2.total_cmp(&b.2));
+                if let Some((fam, fam_plan, _)) = best {
+                    exec_cfg = ExecutionConfig {
+                        itype: fam.itype,
+                        family: Some(*fam),
+                        ..cfg.exec
+                    };
+                    plan = fam_plan;
+                    family = Some(fam.id);
+                    obs.market(
+                        fam.id.label(),
+                        "allocate",
+                        "on_demand",
+                        t,
+                        plan.instance_count() as u64,
+                        0.0,
+                    );
+                }
+            }
+
             obs.count("sched.dispatched", 1);
             let span = obs.span_start("sched.job", t);
             let retry = RetryPolicy {
@@ -284,9 +332,9 @@ pub fn run_trace(cfg: &SchedConfig, trace: &ArrivalTrace) -> Result<SchedReport,
             let model = job.cost_model();
             let degraded = execute_plan_resilient_sourced(
                 &mut cloud,
-                &q.plan,
+                &plan,
                 model.as_ref(),
-                &cfg.exec,
+                &exec_cfg,
                 &retry,
                 &mut pool,
                 obs,
@@ -314,7 +362,9 @@ pub fn run_trace(cfg: &SchedConfig, trace: &ArrivalTrace) -> Result<SchedReport,
                 wait_secs: wait,
                 finished_at: finish,
                 met_deadline: met,
+                family,
                 billed_hours: degraded.execution.instance_hours,
+                cost: degraded.execution.cost,
                 busy_secs: degraded.execution.runs.iter().map(|r| r.job_secs).sum(),
                 lost_bytes: degraded.lost_bytes,
             });
@@ -348,6 +398,7 @@ pub fn run_trace(cfg: &SchedConfig, trace: &ArrivalTrace) -> Result<SchedReport,
     let mut jobs = Vec::with_capacity(n);
     let (mut completed, mut rejected, mut missed) = (0usize, 0usize, 0usize);
     let mut total_billed = 0u64;
+    let mut total_cost = 0.0f64;
     for (idx, outcome) in outcomes.into_iter().enumerate() {
         let Some(outcome) = outcome else {
             return Err(SchedError::Stalled { pending: n - idx });
@@ -371,11 +422,12 @@ pub fn run_trace(cfg: &SchedConfig, trace: &ArrivalTrace) -> Result<SchedReport,
                     missed += 1;
                 }
                 acct.billed_hours += outcome.billed_hours;
-                acct.cost += outcome.billed_hours as f64 * cfg.exec.pricing.hourly_rate;
+                acct.cost += outcome.cost;
                 acct.busy_secs += outcome.busy_secs;
                 acct.wait_secs += outcome.wait_secs;
                 acct.bytes += job.volume() - outcome.lost_bytes;
                 total_billed += outcome.billed_hours;
+                total_cost += outcome.cost;
             }
         }
         jobs.push(outcome);
@@ -385,8 +437,9 @@ pub fn run_trace(cfg: &SchedConfig, trace: &ArrivalTrace) -> Result<SchedReport,
         jobs,
         tenants: tenants.into_values().collect(),
         pool: pool.stats(),
+        families: pool.family_usage(),
         total_billed_hours: total_billed,
-        total_cost: total_billed as f64 * cfg.exec.pricing.hourly_rate,
+        total_cost,
         makespan_secs: makespan,
         completed,
         rejected,

@@ -38,5 +38,5 @@ pub mod report;
 pub use admission::{admit, Admission, DeferReason, RejectReason};
 pub use dispatch::{run_trace, SchedConfig, SchedError};
 pub use job::{reference_fit, AppFits, ArrivalTrace, Job, TenantId, TraceConfig};
-pub use pool::{InstancePool, PoolConfig, PoolStats};
+pub use pool::{FamilyUsage, InstancePool, PoolConfig, PoolStats};
 pub use report::{JobOutcome, JobStatus, SchedReport, TenantAccount};

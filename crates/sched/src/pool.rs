@@ -15,7 +15,7 @@
 //! than what a fresh instance would have billed for the same span, which
 //! is why pooled scheduling can only save money (see the property test).
 
-use ec2sim::{paid_through, Cloud, CloudError, InstanceId};
+use ec2sim::{paid_through, Cloud, CloudError, FamilyId, InstanceId};
 use obs::Obs;
 use provision::{acquire_instance, instance_hours, ExecutionConfig, FleetSource};
 use serde::{Deserialize, Serialize};
@@ -54,6 +54,34 @@ pub struct PoolStats {
     pub billed_hours: u64,
 }
 
+/// Per-family reuse and billing attribution. `family: None` is the
+/// classic single-type fleet billed at the execution config's flat rate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FamilyUsage {
+    /// The instance family, or `None` for family-less launches.
+    pub family: Option<FamilyId>,
+    /// Instances of this family launched cold.
+    pub cold_launches: u64,
+    /// Shares served warm by an instance of this family.
+    pub warm_hits: u64,
+    /// Marginal instance-hours attributed to this family.
+    pub billed_hours: u64,
+    /// Dollars at the rates the family's slots were acquired under.
+    pub cost: f64,
+}
+
+impl FamilyUsage {
+    fn new(family: Option<FamilyId>) -> Self {
+        FamilyUsage {
+            family,
+            cold_launches: 0,
+            warm_hits: 0,
+            billed_hours: 0,
+            cost: 0.0,
+        }
+    }
+}
+
 /// One live instance the pool knows about.
 #[derive(Debug, Clone, Copy)]
 struct Slot {
@@ -66,6 +94,11 @@ struct Slot {
     free_at: f64,
     /// Currently executing a share.
     busy: bool,
+    /// The family this instance was launched through, if any. Warm reuse
+    /// is family-exact: a hi-cpu share never lands on a low-power slot.
+    family: Option<FamilyId>,
+    /// Dollars per started hour this slot bills at.
+    rate: f64,
 }
 
 impl Slot {
@@ -86,6 +119,8 @@ pub struct InstancePool {
     /// warm pick.
     slots: BTreeMap<u64, Slot>,
     stats: PoolStats,
+    /// Attribution per family (`None` = family-less), deterministic order.
+    families: BTreeMap<Option<FamilyId>, FamilyUsage>,
     obs: Obs,
 }
 
@@ -96,6 +131,7 @@ impl InstancePool {
             cfg,
             slots: BTreeMap::new(),
             stats: PoolStats::default(),
+            families: BTreeMap::new(),
             obs,
         }
     }
@@ -108,6 +144,18 @@ impl InstancePool {
     /// Counters so far.
     pub fn stats(&self) -> PoolStats {
         self.stats
+    }
+
+    /// Per-family attribution so far, sorted with family-less launches
+    /// first then by family id.
+    pub fn family_usage(&self) -> Vec<FamilyUsage> {
+        self.families.values().copied().collect()
+    }
+
+    fn family_entry(&mut self, family: Option<FamilyId>) -> &mut FamilyUsage {
+        self.families
+            .entry(family)
+            .or_insert_with(|| FamilyUsage::new(family))
     }
 
     /// Live instances (busy, committed or warm).
@@ -177,19 +225,24 @@ impl FleetSource for InstancePool {
         cfg: &ExecutionConfig,
     ) -> Result<(InstanceId, f64), CloudError> {
         let now = cloud.now();
+        let want = cfg.family.map(|f| f.id);
         if self.cfg.warm_reuse {
             let warm = self
                 .slots
                 .iter()
-                .find(|(_, s)| !s.busy && s.free_at <= now && s.paid_until() > now)
+                .find(|(_, s)| {
+                    !s.busy && s.free_at <= now && s.paid_until() > now && s.family == want
+                })
                 .map(|(&k, _)| k);
             if let Some(k) = warm {
                 if let Some(slot) = self.slots.get_mut(&k) {
                     slot.busy = true;
+                    let inst = slot.inst;
                     self.stats.warm_hits += 1;
+                    self.family_entry(want).warm_hits += 1;
                     self.obs.count("sched.pool.warm_hits", 1);
                     // Ready immediately: it is already booted and running.
-                    return Ok((slot.inst, now));
+                    return Ok((inst, now));
                 }
             }
         }
@@ -202,9 +255,12 @@ impl FleetSource for InstancePool {
                 attributed_hours: 0,
                 free_at: ready,
                 busy: true,
+                family: want,
+                rate: cfg.hourly_rate(),
             },
         );
         self.stats.cold_launches += 1;
+        self.family_entry(want).cold_launches += 1;
         self.obs.count("sched.pool.cold_launches", 1);
         Ok((inst, ready))
     }
@@ -225,7 +281,11 @@ impl FleetSource for InstancePool {
         let marginal = Self::marginal(slot, at);
         slot.free_at = at;
         slot.busy = false;
+        let (family, rate) = (slot.family, slot.rate);
         self.stats.billed_hours += marginal;
+        let usage = self.family_entry(family);
+        usage.billed_hours += marginal;
+        usage.cost += marginal as f64 * rate;
         Ok(marginal)
     }
 
@@ -234,6 +294,9 @@ impl FleetSource for InstancePool {
             Some(mut slot) => {
                 let marginal = Self::marginal(&mut slot, at);
                 self.stats.billed_hours += marginal;
+                let usage = self.family_entry(slot.family);
+                usage.billed_hours += marginal;
+                usage.cost += marginal as f64 * slot.rate;
                 marginal
             }
             // Lost before the pool ever tracked it (screen-phase loss).

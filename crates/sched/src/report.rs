@@ -2,7 +2,8 @@
 
 use crate::admission::{Admission, DeferReason};
 use crate::job::TenantId;
-use crate::pool::PoolStats;
+use crate::pool::{FamilyUsage, PoolStats};
+use ec2sim::FamilyId;
 use serde::{Deserialize, Serialize};
 
 /// How a job ended.
@@ -38,8 +39,12 @@ pub struct JobOutcome {
     pub finished_at: f64,
     /// Finished by its absolute deadline with no lost bytes.
     pub met_deadline: bool,
+    /// The instance family the job ran on (`None` without a catalog).
+    pub family: Option<FamilyId>,
     /// Marginal instance-hours attributed to this job.
     pub billed_hours: u64,
+    /// Dollars for those hours at the rate of the family the job ran on.
+    pub cost: f64,
     /// Simulated seconds its shares actively used instances.
     pub busy_secs: f64,
     /// Bytes never processed (degraded jobs).
@@ -109,9 +114,12 @@ pub struct SchedReport {
     pub tenants: Vec<TenantAccount>,
     /// Pool reuse counters.
     pub pool: PoolStats,
+    /// Per-family reuse and billing attribution (one family-less entry
+    /// when the scheduler runs without a catalog).
+    pub families: Vec<FamilyUsage>,
     /// Total marginal instance-hours billed across the pool.
     pub total_billed_hours: u64,
-    /// Dollars at the execution config's hourly rate.
+    /// Dollars summed over jobs, each billed at its family's rate.
     pub total_cost: f64,
     /// Last simulated completion time, seconds.
     pub makespan_secs: f64,

@@ -62,6 +62,11 @@ if [[ $fast -eq 0 ]]; then
   # sequential oracle, then persists the report CI uploads.
   echo "==> shuffle report (writes results/BENCH_shuffle.json)"
   SMOKE=1 cargo run --release -q -p bench --bin shuffle_report
+  # Fleet-market frontier: asserts the portfolio dominates or ties both
+  # pure strategies at every swept deadline and that same-seed planning
+  # logs are byte-identical, then persists the report CI uploads.
+  echo "==> market report (writes results/BENCH_market.json)"
+  SMOKE=1 cargo run --release -q -p bench --bin market_report
 fi
 
 echo "verify: OK"

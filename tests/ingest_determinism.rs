@@ -5,7 +5,7 @@
 //! counterpart of `tests/observability.rs`.
 
 use binpack::{container_from_bin, Container, Item, MergePolicy, StreamConfig, StreamPacker};
-use corpus::{ArrivalConfig, ArrivalOrder, ArrivalTrace};
+use corpus::{ArrivalConfig, ArrivalOrder, IngestTrace};
 use obs::Obs;
 use reshape::{
     App, IngestConfig, Parallelism, Pipeline, PipelineConfig, ProbeCampaign, SealPolicy, Workload,
@@ -112,7 +112,7 @@ fn different_arrival_seeds_change_the_log() {
 /// an indexed container blob; return the concatenated container bytes.
 fn containers_for_trace(seed: u64) -> Vec<u8> {
     let manifest = corpus::html_18mil(0.0003, 77);
-    let trace = ArrivalTrace::generate(
+    let trace = IngestTrace::generate(
         &manifest,
         &ArrivalConfig {
             mean_interarrival_secs: 0.25,
